@@ -1,0 +1,44 @@
+"""E4 -- Fig. 2(i): likelihood energy, 4-bit CIM vs 8-bit digital GMM."""
+
+from repro.experiments.fig2_energy import likelihood_energy_comparison
+
+
+def test_fig2i_energy_ratio(benchmark, table_printer):
+    """Paper: 374 fJ per likelihood at 500 columns / 100 components, ~25x
+    below the 8-bit digital GMM processor.  Shape criterion: CIM wins by a
+    factor in the 10-60x band with the same workload."""
+    data = benchmark.pedantic(
+        likelihood_energy_comparison,
+        kwargs={"n_components": 100, "total_columns": 500, "n_queries": 2000},
+        rounds=1,
+        iterations=1,
+    )
+    table_printer(
+        "Fig 2i: energy per likelihood evaluation",
+        [
+            {
+                "engine": "4-bit HMGM inverter CIM",
+                "energy_fJ": data["cim_energy_per_query_j"] * 1e15,
+                "paper_fJ": data["paper_cim_fj"],
+            },
+            {
+                "engine": "8-bit digital GMM",
+                "energy_fJ": data["digital_energy_per_query_j"] * 1e15,
+                "paper_fJ": data["paper_cim_fj"] * data["paper_ratio"],
+            },
+        ],
+    )
+    table_printer(
+        "CIM energy breakdown (per query)",
+        [
+            {"component": op, "energy_fJ": value * 1e15}
+            for op, value in data["cim_breakdown_j"].items()
+        ],
+    )
+    print(
+        f"\nmeasured ratio: {data['ratio']:.1f}x   (paper: {data['paper_ratio']:.0f}x)"
+    )
+    assert 10.0 < data["ratio"] < 60.0
+    assert data["physical_columns"] >= 100
+    benchmark.extra_info["ratio"] = data["ratio"]
+    benchmark.extra_info["cim_fj"] = data["cim_energy_per_query_j"] * 1e15

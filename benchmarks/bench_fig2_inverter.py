@@ -1,0 +1,46 @@
+"""E1/E2 -- Fig. 2(b-d): inverter transfer curves and tail shapes."""
+
+import numpy as np
+
+from repro.experiments.fig2_inverter import inverter_transfer_data
+
+
+def test_fig2b_switching_current_bells(benchmark, table_printer):
+    """Fig. 2(b): Gaussian-like 1D switching-current bells."""
+    data = benchmark.pedantic(
+        inverter_transfer_data, kwargs={"n_grid": 201}, rounds=1, iterations=1
+    )
+    rows = []
+    for center, current in data["sweeps"].items():
+        peak_idx = int(np.argmax(current))
+        rows.append(
+            {
+                "requested_center_v": center,
+                "peak_voltage_v": data["sweep_v"][peak_idx],
+                "peak_current_uA": current[peak_idx] * 1e6,
+                "fwhm_approx_mV": 2.355 * data["sigma_code0_v"] * 1e3,
+            }
+        )
+    table_printer("Fig 2b: switching-current bells (peak follows programmed center)", rows)
+    assert data["peak_shift_error"] < 0.04
+    benchmark.extra_info["peak_shift_error_v"] = data["peak_shift_error"]
+
+
+def test_fig2cd_rectilinear_tails(benchmark, table_printer):
+    """Fig. 2(c,d): HMG contours have rectilinear tails vs Gaussian ellipses."""
+    data = benchmark.pedantic(
+        inverter_transfer_data, kwargs={"n_grid": 161}, rounds=1, iterations=1
+    )
+    hmg_ratio, gauss_ratio = data["rectilinearity"]
+    table_printer(
+        "Fig 2c/d: iso-contour area / bounding-box area at 1e-3 level",
+        [
+            {"kernel": "HMG (hardware)", "box_ratio": hmg_ratio},
+            {"kernel": "Gaussian product", "box_ratio": gauss_ratio},
+            {"kernel": "perfect square", "box_ratio": 1.0},
+            {"kernel": "perfect ellipse", "box_ratio": float(np.pi / 4)},
+        ],
+    )
+    assert hmg_ratio > 0.9 > gauss_ratio
+    benchmark.extra_info["hmg_box_ratio"] = hmg_ratio
+    benchmark.extra_info["gaussian_box_ratio"] = gauss_ratio

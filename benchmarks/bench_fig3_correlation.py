@@ -1,0 +1,64 @@
+"""E7 -- Fig. 3(f): error vs predictive-uncertainty correlation."""
+
+import numpy as np
+
+from repro.experiments.fig3_correlation import error_uncertainty_experiment
+
+
+def test_fig3f_error_uncertainty_correlation(benchmark, table_printer):
+    """Paper: "a discernible correlation between error and predictive
+    uncertainty" -- uncertainty flags the frames the model gets wrong.
+
+    Shape criteria: positive Pearson and Spearman correlation on the
+    mixed-difficulty (clean + occluded) test set, and uncertainty rises
+    monotonically with occlusion severity.
+    """
+    data = benchmark.pedantic(
+        error_uncertainty_experiment,
+        kwargs={"engine": "software"},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for level in sorted(set(data["severity"])):
+        mask = data["severity"] == level
+        rows.append(
+            {
+                "occlusion": level,
+                "mean_error_m": float(data["errors"][mask].mean()),
+                "mean_variance": float(data["uncertainties"][mask].mean()),
+            }
+        )
+    table_printer("Fig 3f: error and uncertainty vs scene disturbance", rows)
+    corr = data["correlation"]
+    print(
+        f"\npearson r = {corr['pearson']:.3f} (p={corr['pearson_p']:.2g}), "
+        f"spearman rho = {corr['spearman']:.3f}, AUSE = {data['ause']:.3f}"
+    )
+    assert corr["pearson"] > 0.3
+    assert corr["spearman"] > 0.3
+    # Uncertainty must clearly separate clean from disturbed frames (it
+    # saturates between high severities, so strict monotonicity is not
+    # required).
+    variances = [row["mean_variance"] for row in rows]
+    assert variances[-1] > 3.0 * variances[0]
+    benchmark.extra_info["pearson"] = corr["pearson"]
+    benchmark.extra_info["spearman"] = corr["spearman"]
+
+
+def test_fig3f_cim_engine_preserves_correlation(benchmark):
+    """The correlation must survive 4-bit CIM execution (the paper's
+    whole point: uncertainty-awareness at edge precision)."""
+    data = benchmark.pedantic(
+        error_uncertainty_experiment,
+        kwargs={"engine": "cim-4bit", "occlusion_levels": (0.0, 0.3, 0.5)},
+        rounds=1,
+        iterations=1,
+    )
+    corr = data["correlation"]
+    print(
+        f"\nCIM 4-bit: pearson r = {corr['pearson']:.3f}, "
+        f"spearman rho = {corr['spearman']:.3f}"
+    )
+    assert corr["pearson"] > 0.25
+    benchmark.extra_info["pearson"] = corr["pearson"]

@@ -1,0 +1,32 @@
+"""E5 -- Fig. 3(b): SRAM-immersed RNG bias/noise statistics."""
+
+from repro.experiments.fig3_rng import rng_statistics
+
+
+def test_fig3b_rng_calibration(benchmark, table_printer):
+    """Mismatch filtering + noise amplification + bias calibration.
+
+    Shape criteria: (a) raw bits are heavily biased before calibration and
+    near-Bernoulli(0.5) after; (b) the mismatch-to-noise ratio falls as
+    columns are added (the paper's summation argument); (c) calibrated
+    bits show negligible lag-1 autocorrelation.
+    """
+    data = benchmark.pedantic(
+        rng_statistics,
+        kwargs={
+            "column_sweep": (2, 4, 8, 16, 32),
+            "n_instances": 10,
+            "bits_per_instance": 4096,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table_printer("Fig 3b: RNG statistics vs columns per CCI side", data["rows"])
+    rows = data["rows"]
+    for row in rows:
+        assert row["bias_after"] < 0.05
+        assert row["bias_after"] <= row["bias_before"] + 0.02
+        assert row["abs_autocorr_lag1"] < 0.08
+    # Mismatch-to-noise improves (falls) with more columns.
+    assert rows[-1]["mismatch_to_noise"] < rows[0]["mismatch_to_noise"]
+    benchmark.extra_info["bias_after_32col"] = rows[-1]["bias_after"]

@@ -1,0 +1,51 @@
+"""E6 -- Fig. 3(c-e): VO trajectory tracking across inference conditions."""
+
+import numpy as np
+
+from repro.experiments.fig3_trajectory import vo_trajectory_experiment
+
+
+def test_fig3ce_trajectories(benchmark, table_printer):
+    """MC-Dropout on the CIM macro tracks ground truth even at low
+    precision; deterministic quantised inference is not better.
+
+    Shape criteria: every mode stays within a bounded ATE on the held-out
+    scene, and the 4-bit CIM MC mode is within 2.5x of the float
+    deterministic reference (paper: "even with very low precision,
+    probabilistic inference can accurately track the ground truth").
+    """
+    data = benchmark.pedantic(
+        vo_trajectory_experiment,
+        kwargs={
+            "modes": (
+                "deterministic-float",
+                "deterministic-4bit",
+                "mc-software",
+                "mc-cim-4bit",
+                "mc-cim-6bit",
+            )
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for mode, result in data["modes"].items():
+        report = result["report"]
+        rows.append(
+            {
+                "mode": mode,
+                "ate_rmse_m": report["ate_rmse_m"],
+                "rpe_trans_mean_m": report["rpe_trans_mean_m"],
+                "final_err_m": report["final_position_error_m"],
+            }
+        )
+    table_printer("Fig 3c-e: trajectory metrics on the held-out scene", rows)
+    ate = {r["mode"]: r["ate_rmse_m"] for r in rows}
+    path_scale = np.linalg.norm(
+        np.diff(data["ground_truth"], axis=0), axis=1
+    ).sum()
+    for mode, value in ate.items():
+        assert value < 0.6 * path_scale, f"{mode} diverged (ATE {value:.2f} m)"
+    assert ate["mc-cim-4bit"] < 2.5 * ate["deterministic-float"] + 0.05
+    for row in rows:
+        benchmark.extra_info[row["mode"]] = row["ate_rmse_m"]

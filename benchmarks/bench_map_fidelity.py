@@ -1,0 +1,33 @@
+"""E10 -- Sec. II-C: HMGM map quality vs the conventional GMM."""
+
+from repro.experiments.map_fidelity import map_fidelity
+
+
+def test_map_fidelity(benchmark, table_printer):
+    """Hardware-width HMGM maps vs the free GMM.
+
+    Shape criteria: the tiled hardware menu recovers most of the
+    log-field correlation with the GMM map (what the particle filter
+    consumes), and strictly beats the single-array menu.
+    """
+    data = benchmark.pedantic(map_fidelity, rounds=1, iterations=1)
+    table_printer(
+        "map fidelity (held-out mean log-likelihood)",
+        [{"model": k, "held_out_loglik": v} for k, v in data["held_out_loglik"].items()],
+    )
+    table_printer(
+        "log-field correlation vs GMM",
+        [
+            {"model": k, "correlation": v}
+            for k, v in data["field_correlation_vs_gmm"].items()
+        ],
+    )
+    print(
+        f"\nmin kernel width: single-array {data['min_width_m']['single']:.2f} m, "
+        f"tiled {data['min_width_m']['tiled']:.2f} m"
+    )
+    corr = data["field_correlation_vs_gmm"]
+    assert corr["hmgm_tiled"] > corr["hmgm_single"]
+    assert corr["hmgm_tiled"] > 0.55
+    assert data["min_width_m"]["tiled"] < data["min_width_m"]["single"]
+    benchmark.extra_info.update(corr)

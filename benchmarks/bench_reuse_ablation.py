@@ -1,0 +1,49 @@
+"""E9 -- Sec. III-C: compute reuse + sample ordering workload ablation."""
+
+from repro.experiments.reuse_ablation import reuse_ablation
+
+
+def test_reuse_ablation_p05(benchmark, table_printer):
+    """Executed-MAC fraction of the four engines at p = 0.5, T = 30.
+
+    Shape criteria: active-only gating halves the work; delta reuse plus
+    ordering cuts it further; ordering strictly shrinks the Hamming path.
+    """
+    data = benchmark.pedantic(
+        reuse_ablation,
+        kwargs={"n_inputs": 256, "n_outputs": 128, "n_iterations": 30, "n_trials": 5},
+        rounds=1,
+        iterations=1,
+    )
+    fractions = data["executed_fraction"]
+    table_printer(
+        "Sec III-C: executed MAC fraction (vs naive)",
+        [{"engine": name, "fraction": value} for name, value in fractions.items()],
+    )
+    print(f"\nordering Hamming-path reduction: {data['ordering_path_reduction']:.1%}")
+    assert fractions["active_only"] < 0.55
+    assert fractions["reuse_ordered"] <= fractions["reuse"] + 1e-9
+    assert fractions["reuse_ordered"] < 0.52
+    assert data["ordering_path_reduction"] > 0.05
+    benchmark.extra_info.update(fractions)
+
+
+def test_reuse_vs_dropout_rate(benchmark, table_printer):
+    """Reuse savings as a function of the keep probability."""
+
+    def sweep():
+        rows = []
+        for keep in (0.2, 0.5, 0.8):
+            result = reuse_ablation(
+                n_inputs=128, n_outputs=64, n_iterations=20,
+                keep_probability=keep, n_trials=3,
+            )
+            rows.append({"keep_p": keep, **result["executed_fraction"]})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table_printer("reuse ablation vs keep probability", rows)
+    # Mask-change rate 2p(1-p) peaks at p=0.5: reuse work is maximal there.
+    reuse = {row["keep_p"]: row["reuse"] for row in rows}
+    assert reuse[0.5] > reuse[0.2]
+    assert reuse[0.5] > reuse[0.8]

@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact (figure/table) via the
+drivers in :mod:`repro.experiments` and prints the rows the paper reports.
+Heavy shared setup (rendered worlds, trained models) is cached in-process
+by :mod:`repro.experiments.common`, so the suite stays laptop-fast.
+"""
+
+import numpy as np
+import pytest
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Uniform table printing for benchmark outputs."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        return
+    keys = list(rows[0])
+    print(" | ".join(f"{k:>22}" for k in keys))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row[key]
+            if isinstance(value, float):
+                cells.append(f"{value:>22.4g}")
+            else:
+                cells.append(f"{str(value):>22}")
+        print(" | ".join(cells))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

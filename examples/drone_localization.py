@@ -1,0 +1,97 @@
+"""Drone localization study: HMGM-CIM vs digital GMM backends (Fig. 2e-h).
+
+Runs the same rendered flight through three likelihood backends and prints
+the per-step error traces plus the energy story (Fig. 2i flavour), then a
+global-localization demo showing the particle cloud collapsing.
+
+Run:  python examples/drone_localization.py
+"""
+
+import numpy as np
+
+from repro.circuits.energy import format_energy
+from repro.core import CIMParticleFilterLocalizer
+from repro.experiments.common import build_room_world
+
+
+def tracking_comparison() -> None:
+    print("=" * 70)
+    print("Tracking comparison (biased prior), paper Fig. 2(f-h)")
+    print("=" * 70)
+    world = build_room_world(seed=7, n_steps=20)
+    traces = {}
+    for backend in ("digital-float", "digital", "cim"):
+        localizer = CIMParticleFilterLocalizer(
+            world.cloud,
+            world.camera,
+            camera_mount=world.mount,
+            backend=backend,
+            n_components=64,
+            n_particles=400,
+            rng=np.random.default_rng(3),
+        )
+        run_rng = np.random.default_rng(11)
+        start = world.states[0] + np.array([0.4, -0.3, 0.15, 0.2])
+        localizer.initialize_tracking(
+            start, np.array([0.5, 0.5, 0.3, 0.3]), run_rng
+        )
+        result = localizer.run(world.controls, world.depths, world.states, run_rng)
+        traces[backend] = result
+    print(f"{'step':>4}", *(f"{b:>16}" for b in traces))
+    for step in range(len(world.states)):
+        print(
+            f"{step:>4}",
+            *(f"{traces[b].errors[step]:>16.3f}" for b in traces),
+        )
+    print("\nsteady-state error (last 8 steps):")
+    for backend, result in traces.items():
+        print(f"  {backend:>14}: {result.errors[-8:].mean():.3f} m")
+    cim = traces["cim"]
+    queries = cim.energy.count("adc_conversion")
+    print(
+        f"\nCIM likelihood energy: {format_energy(cim.energy.total_energy_j() / queries)}"
+        f" per evaluation over {queries} evaluations"
+    )
+
+
+def global_localization_demo() -> None:
+    print("\n" + "=" * 70)
+    print("Global localization demo: particle spread over steps, Fig. 2(e)")
+    print("=" * 70)
+    # Global localization is the hardest regime (the paper's Fig. 2e);
+    # the oracle-precision backend shows the particle-convergence story,
+    # and the backend accuracy comparison lives in the tracking section.
+    world = build_room_world(seed=7, n_steps=25)
+    localizer = CIMParticleFilterLocalizer(
+        world.cloud,
+        world.camera,
+        camera_mount=world.mount,
+        backend="digital-float",
+        n_components=64,
+        n_particles=1000,
+        temperature=16.0,
+        rng=np.random.default_rng(3),
+    )
+    run_rng = np.random.default_rng(11)
+    localizer.initialize_global(run_rng, z_range=(0.5, 2.0))
+    for step, (control, depth) in enumerate(zip(world.controls, world.depths)):
+        diagnostics = localizer.step(control, depth, run_rng)
+        error = np.linalg.norm(diagnostics.estimate[:3] - world.states[step, :3])
+        print(
+            f"  step {step:2d}: spread {diagnostics.spread:6.3f} m   "
+            f"ESS {diagnostics.ess:7.1f}   err {error:6.3f} m"
+            f"{'   [resampled]' if diagnostics.resampled else ''}"
+        )
+    print(
+        "\nNote: from a fully uniform prior the posterior may lock onto a"
+        "\nstructural alias of the room (classic Monte-Carlo-localization"
+        "\nbehaviour in symmetric environments) -- the spread/ESS trace above"
+        "\nshows the belief collapsing either way.  The paper's accuracy"
+        "\nclaim (Fig. 2f-h) concerns the tracking regime of the previous"
+        "\nsection, where all backends converge to sub-half-meter error."
+    )
+
+
+if __name__ == "__main__":
+    tracking_comparison()
+    global_localization_demo()

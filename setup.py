@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP-660 editable installs (``pip install -e .``) cannot build a wheel.  This
+shim enables the legacy editable path::
+
+    python setup.py develop
+
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro: uncertainty-aware compute-in-memory autonomy for edge robotics.
+
+Reproduction of Darabi et al., "Navigating the Unknown: Uncertainty-Aware
+Compute-in-Memory Autonomy of Edge Robotics" (DATE 2024, arXiv:2401.17481).
+
+The package is organised as a stack of substrates with a co-design layer on
+top:
+
+- :mod:`repro.circuits`  -- analog device/circuit behavioural models (EKV
+  MOSFET, floating-gate 6T inverters, inverter arrays, ADC/DAC, noise,
+  process variability, per-op energy).
+- :mod:`repro.sram`      -- 8T-SRAM compute-in-memory macro, bit lines, the
+  SRAM-immersed cross-coupled-inverter RNG and dropout bit generation.
+- :mod:`repro.maps`      -- point clouds, Gaussian mixture maps and the
+  hardware-native Harmonic-Mean-of-Gaussian (HMG) mixture maps.
+- :mod:`repro.filtering` -- particle filtering (SIR), motion/measurement
+  models, resampling schemes, and an EKF baseline.
+- :mod:`repro.scene`     -- SE(3) math, procedural tabletop scenes, pinhole
+  depth camera, sphere-tracing renderer, synthetic RGB-D dataset.
+- :mod:`repro.nn`        -- a from-scratch numpy neural-network framework
+  (layers, backprop, optimizers, dropout with external masks, quantization).
+- :mod:`repro.bayesian`  -- MC-Dropout inference, compute-reuse engine,
+  sample-ordering optimisation, uncertainty metrics.
+- :mod:`repro.vo`        -- visual odometry pipeline (features, model,
+  training, trajectory integration, ATE/RPE evaluation).
+- :mod:`repro.energy`    -- op counting and energy/TOPS/W models for the
+  digital baselines and the CIM substrates.
+- :mod:`repro.core`      -- the paper's contribution: co-designed
+  CIM particle-filter localization and CIM MC-Dropout visual odometry.
+- :mod:`repro.experiments` -- one driver per paper figure/table.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

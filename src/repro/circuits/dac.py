@@ -1,0 +1,73 @@
+"""Digital-to-analog converter for the likelihood array inputs.
+
+Projected measurement coordinates arrive as digital words; the DAC turns
+them into the analog gate voltages V_X / V_Y / V_Z.  The model captures the
+two effects that matter: finite resolution and static nonlinearity (INL).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.technology import TechnologyNode
+
+
+class DAC:
+    """A voltage-output DAC spanning [0, v_max].
+
+    Args:
+        node: technology node (energy table).
+        bits: resolution.
+        v_max: full-scale output voltage (defaults to the node's VDD).
+        inl_lsb: 1-sigma integral nonlinearity in LSBs; a fixed per-code
+            error pattern drawn once at construction.
+        rng: generator for the INL pattern (required if inl_lsb > 0).
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        bits: int = 6,
+        v_max: float | None = None,
+        inl_lsb: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if bits < 1:
+            raise ValueError("bits must be >= 1")
+        self.node = node
+        self.bits = int(bits)
+        self.v_max = float(v_max if v_max is not None else node.vdd)
+        self.inl_lsb = float(inl_lsb)
+        if self.inl_lsb > 0:
+            if rng is None:
+                raise ValueError("rng required when inl_lsb > 0")
+            self._inl = rng.normal(scale=self.inl_lsb * self.lsb, size=self.levels)
+        else:
+            self._inl = np.zeros(self.levels)
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits
+
+    @property
+    def lsb(self) -> float:
+        return self.v_max / (self.levels - 1)
+
+    def quantize(self, voltage: np.ndarray) -> np.ndarray:
+        """Digital codes nearest to the requested voltage(s)."""
+        voltage = np.asarray(voltage, dtype=float)
+        codes = np.clip(voltage, 0.0, self.v_max) / self.lsb
+        return np.clip(np.rint(codes), 0, self.levels - 1).astype(np.int64)
+
+    def output(self, codes: np.ndarray) -> np.ndarray:
+        """Analog output voltage(s) for integer code(s), including INL."""
+        codes = np.asarray(codes)
+        return codes.astype(float) * self.lsb + self._inl[codes]
+
+    def convert(self, voltage: np.ndarray) -> np.ndarray:
+        """Requested voltage(s) -> achieved analog voltage(s)."""
+        return self.output(self.quantize(voltage))
+
+    def conversion_energy(self) -> float:
+        """Energy per conversion (J)."""
+        return self.node.dac_energy_j

@@ -1,0 +1,104 @@
+"""Energy accounting.
+
+Every substrate reports its work into an :class:`EnergyLedger` -- a named
+multiset of (operation, count, energy) entries.  Experiment drivers merge
+ledgers and print comparison tables; nothing in the package computes energy
+as a side effect you cannot audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates operation counts and their energy.
+
+    Attributes:
+        label: name shown in reports.
+    """
+
+    label: str = "ledger"
+    _counts: dict[str, int] = field(default_factory=dict)
+    _energies: dict[str, float] = field(default_factory=dict)
+
+    def add(self, operation: str, count: int, energy_per_op_j: float) -> None:
+        """Record ``count`` occurrences of ``operation``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if energy_per_op_j < 0:
+            raise ValueError("energy must be non-negative")
+        self._counts[operation] = self._counts.get(operation, 0) + int(count)
+        self._energies[operation] = (
+            self._energies.get(operation, 0.0) + count * energy_per_op_j
+        )
+
+    def add_energy(self, operation: str, total_energy_j: float, count: int = 1) -> None:
+        """Record a pre-totalled energy contribution."""
+        if total_energy_j < 0:
+            raise ValueError("energy must be non-negative")
+        self._counts[operation] = self._counts.get(operation, 0) + int(count)
+        self._energies[operation] = self._energies.get(operation, 0.0) + total_energy_j
+
+    @property
+    def operations(self) -> list[str]:
+        return sorted(self._counts)
+
+    def count(self, operation: str) -> int:
+        return self._counts.get(operation, 0)
+
+    def energy(self, operation: str) -> float:
+        return self._energies.get(operation, 0.0)
+
+    def total_count(self) -> int:
+        return sum(self._counts.values())
+
+    def total_energy_j(self) -> float:
+        return sum(self._energies.values())
+
+    def merge(self, other: "EnergyLedger") -> "EnergyLedger":
+        """Fold another ledger's entries into this one (returns self)."""
+        for operation in other.operations:
+            self._counts[operation] = self._counts.get(operation, 0) + other.count(operation)
+            self._energies[operation] = self._energies.get(operation, 0.0) + other.energy(
+                operation
+            )
+        return self
+
+    def scaled(self, factor: float) -> "EnergyLedger":
+        """A copy with all counts/energies multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        result = EnergyLedger(label=self.label)
+        for operation in self.operations:
+            result._counts[operation] = int(round(self.count(operation) * factor))
+            result._energies[operation] = self.energy(operation) * factor
+        return result
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._energies.clear()
+
+    def table(self) -> str:
+        """A fixed-width text table of the ledger contents."""
+        lines = [f"{self.label}", f"{'operation':<32}{'count':>12}{'energy':>14}"]
+        for operation in self.operations:
+            lines.append(
+                f"{operation:<32}{self.count(operation):>12}"
+                f"{format_energy(self.energy(operation)):>14}"
+            )
+        lines.append(
+            f"{'TOTAL':<32}{self.total_count():>12}"
+            f"{format_energy(self.total_energy_j()):>14}"
+        )
+        return "\n".join(lines)
+
+
+def format_energy(energy_j: float) -> str:
+    """Human-readable energy string (fJ / pJ / nJ / uJ / mJ / J)."""
+    magnitude = abs(energy_j)
+    for scale, unit in ((1e-15, "fJ"), (1e-12, "pJ"), (1e-9, "nJ"), (1e-6, "uJ"), (1e-3, "mJ")):
+        if magnitude < scale * 1e3:
+            return f"{energy_j / scale:.2f} {unit}"
+    return f"{energy_j:.3f} J"

@@ -1,0 +1,72 @@
+"""Process-variability (device mismatch) models.
+
+Threshold-voltage mismatch follows the Pelgrom law: the 1-sigma mismatch of
+a device pair shrinks with the square root of gate area.  We expose a
+sampler producing per-device V_T offsets and lognormal current-factor
+mismatches, used both by the likelihood inverter array (a nuisance) and by
+the SRAM RNG (where summation across many ports *filters* the mismatch --
+the effect the paper's Fig. 3b exploits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.technology import TechnologyNode
+
+
+@dataclass(frozen=True)
+class MismatchSampler:
+    """Samples per-device process variations.
+
+    Attributes:
+        node: technology node providing the unit-device sigma.
+        area_factor: relative gate area; V_T sigma scales as
+            1/sqrt(area_factor) (Pelgrom).
+        current_factor_sigma: 1-sigma of the lognormal current-gain
+            mismatch (beta mismatch), typically a few percent.
+    """
+
+    node: TechnologyNode
+    area_factor: float = 1.0
+    current_factor_sigma: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.area_factor <= 0:
+            raise ValueError("area_factor must be positive")
+
+    @property
+    def vt_sigma(self) -> float:
+        """Effective 1-sigma V_T mismatch (V)."""
+        return self.node.sigma_vt_mismatch / np.sqrt(self.area_factor)
+
+    def vt_offsets(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Per-device threshold offsets (V)."""
+        return rng.normal(scale=self.vt_sigma, size=shape)
+
+    def current_factors(
+        self, shape: tuple[int, ...], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-device multiplicative current-gain factors (lognormal, mean ~1)."""
+        if self.current_factor_sigma <= 0:
+            return np.ones(shape)
+        log_sigma = self.current_factor_sigma
+        return rng.lognormal(mean=-0.5 * log_sigma**2, sigma=log_sigma, size=shape)
+
+    def subthreshold_leakage(
+        self,
+        shape: tuple[int, ...],
+        rng: np.random.Generator,
+        nominal_current: float = 1.0e-10,
+    ) -> np.ndarray:
+        """Per-device subthreshold leakage currents (A).
+
+        Leakage is exponential in the V_T offset (weak inversion), producing
+        the heavy-tailed lognormal spread the SRAM RNG has to filter:
+        ``I = I_nom * exp(-dVT / (n UT))``.
+        """
+        offsets = self.vt_offsets(shape, rng)
+        n_ut = self.node.subthreshold_slope_factor * self.node.thermal_voltage
+        return nominal_current * np.exp(-offsets / n_ut)

@@ -1,0 +1,34 @@
+"""The paper's contribution: CIM / algorithm co-design layers.
+
+Two co-designed inference stacks:
+
+- :class:`~repro.core.cim_particle_filter.CIMParticleFilterLocalizer` --
+  Monte-Carlo drone localization whose measurement likelihood is evaluated
+  by a floating-gate inverter array programmed with a hardware-native HMG
+  mixture map (paper Sec. II).
+- :class:`~repro.core.cim_mc_dropout.CIMMCDropoutEngine` -- MC-Dropout
+  Bayesian inference executed on an SRAM CIM macro with an SRAM-immersed
+  RNG, compute reuse across iterations and optimised sample ordering
+  (paper Sec. III).
+"""
+
+from repro.core.codesign import (
+    CoDesignReport,
+    hardware_sigma_menu,
+    program_inverter_array,
+)
+from repro.core.cim_particle_filter import (
+    CIMParticleFilterLocalizer,
+    LocalizationResult,
+)
+from repro.core.cim_mc_dropout import CIMMCDropoutEngine, MCDropoutResult
+
+__all__ = [
+    "CoDesignReport",
+    "hardware_sigma_menu",
+    "program_inverter_array",
+    "CIMParticleFilterLocalizer",
+    "LocalizationResult",
+    "CIMMCDropoutEngine",
+    "MCDropoutResult",
+]

@@ -1,0 +1,185 @@
+"""Map/hardware co-design: from a point-cloud map to a programmed array.
+
+The co-design pipeline (paper Sec. II-B/C):
+
+1. fit a conventional GMM to the map point cloud;
+2. derive the hardware width menu -- the effective kernel widths (in world
+   units) each inverter width code realises under the chosen
+   world-to-voltage encoding;
+3. convert the GMM into an HMG mixture with widths snapped to the menu and
+   weights re-fit so the evaluated field matches;
+4. program an inverter array: centers through the floating gates, widths
+   through width codes, and weights through integer column replication with
+   per-column peak-current compensation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.adc import LogarithmicADC
+from repro.circuits.inverter import WIDTH_SCALES, width_code_sigmas
+from repro.circuits.inverter_array import (
+    InverterArray,
+    InverterColumn,
+    VoltageEncoder,
+)
+from repro.circuits.noise import NoiseModel
+from repro.circuits.technology import TechnologyNode
+from repro.circuits.variability import MismatchSampler
+from repro.maps.hmgm import HMGMixture
+
+
+def hardware_sigma_menu(
+    node: TechnologyNode, encoder: VoltageEncoder, fg_bits: int = 4
+) -> np.ndarray:
+    """Per-axis world-unit width menu, shape (n_axes, n_codes).
+
+    Entry ``[a, c]`` is the kernel width (in world units along axis ``a``)
+    realised by width code ``c`` under ``encoder``.
+    """
+    menu_volts = width_code_sigmas(node, fg_bits=fg_bits)
+    scale = encoder.scale()
+    return menu_volts[None, :] / scale[:, None]
+
+
+def _nearest_width_codes(
+    sigmas_world: np.ndarray, menu_world: np.ndarray
+) -> np.ndarray:
+    """Width codes (K, A) whose menu widths best match requested sigmas."""
+    k, a = sigmas_world.shape
+    codes = np.empty((k, a), dtype=int)
+    for axis in range(a):
+        codes[:, axis] = np.argmin(
+            np.abs(sigmas_world[:, axis, None] - menu_world[axis][None, :]), axis=1
+        )
+    return codes
+
+
+@dataclass(frozen=True)
+class CoDesignReport:
+    """Audit record of an array programming run.
+
+    Attributes:
+        n_components: mixture components programmed.
+        total_columns: physical columns used (sum of replication).
+        replication: per-component replication counts (K,).
+        width_codes: per-component per-axis width codes (K, A).
+        amplitude_error: relative RMS error between target component
+            amplitudes and the amplitudes the replicated columns realise.
+    """
+
+    n_components: int
+    total_columns: int
+    replication: np.ndarray
+    width_codes: np.ndarray
+    amplitude_error: float
+
+
+def program_inverter_array(
+    mixture: HMGMixture,
+    encoder: VoltageEncoder,
+    node: TechnologyNode,
+    total_columns: int = 500,
+    fg_bits: int = 4,
+    adc_bits: int = 4,
+    input_dac_bits: int = 6,
+    mismatch: MismatchSampler | None = None,
+    noise: NoiseModel | None = None,
+    rng: np.random.Generator | None = None,
+    eval_time_s: float = 1.0e-8,
+) -> tuple[InverterArray, CoDesignReport]:
+    """Program an inverter array to realise an HMG mixture field.
+
+    Mixture weights map to integer column replication.  Because wider cells
+    conduct a smaller peak current, replication is computed against each
+    column's *peak current* so the realised field amplitudes track the
+    mixture's component amplitudes.
+
+    Args:
+        mixture: the co-designed HMG mixture (widths should already sit on
+            the hardware menu; they are snapped again defensively).
+        encoder: world-to-voltage map.
+        node: technology node.
+        total_columns: column budget (the paper's Fig. 2i uses 500).
+        fg_bits: floating-gate center resolution.
+        adc_bits: log-ADC resolution.
+        input_dac_bits: input DAC resolution.
+        mismatch: optional process-variation sampler.
+        noise: optional analog noise model.
+        rng: generator (required with mismatch).
+        eval_time_s: analog integration time per query.
+
+    Returns:
+        (array, report).
+    """
+    if total_columns < mixture.n_components:
+        raise ValueError(
+            f"column budget {total_columns} cannot fit {mixture.n_components} components"
+        )
+    menu_world = hardware_sigma_menu(node, encoder, fg_bits=fg_bits)
+    width_codes = _nearest_width_codes(mixture.sigmas, menu_world)
+    centers_v = encoder.encode(mixture.means)
+
+    # Probe pass: peak current of each candidate column (no mismatch/noise).
+    probe_columns = [
+        InverterColumn(centers_v[j], width_codes[j], replication=1)
+        for j in range(mixture.n_components)
+    ]
+    probe = InverterArray(
+        node, probe_columns, fg_bits=fg_bits, input_dac_bits=input_dac_bits
+    )
+    peak_currents = np.diag(probe.column_currents(centers_v))
+
+    # Replication proportional to amplitude / peak-current, within budget.
+    amplitudes = mixture.amplitudes()
+    demand = amplitudes / peak_currents
+    replication = np.maximum(
+        1, np.rint(demand / demand.sum() * total_columns)
+    ).astype(int)
+    realised = replication * peak_currents
+    target = amplitudes / amplitudes.sum()
+    realised_norm = realised / realised.sum()
+    amplitude_error = float(
+        np.sqrt(np.mean((realised_norm - target) ** 2)) / (target.mean() + 1e-300)
+    )
+
+    columns = [
+        InverterColumn(centers_v[j], width_codes[j], replication=int(replication[j]))
+        for j in range(mixture.n_components)
+    ]
+    array = InverterArray(
+        node,
+        columns,
+        fg_bits=fg_bits,
+        mismatch=mismatch,
+        noise=noise,
+        input_dac_bits=input_dac_bits,
+        eval_time_s=eval_time_s,
+        rng=rng,
+    )
+    # ADC range calibration: size the log converter to the field's actual
+    # operating range (currents at component centers for the ceiling, the
+    # low percentile over the domain for the floor) so all 2**bits codes
+    # resolve useful likelihood contrast instead of empty decades.
+    calib_rng = rng or np.random.default_rng(0)
+    domain_points = calib_rng.uniform(
+        encoder.lo, encoder.hi, size=(512, mixture.means.shape[1])
+    )
+    calib_points = np.concatenate([mixture.means, domain_points], axis=0)
+    currents = array.total_current(
+        encoder.encode(calib_points), rng=calib_rng if noise is not None else None
+    )
+    i_max = 2.0 * float(currents.max())
+    i_min = max(0.5 * float(np.percentile(currents, 2.0)), 1e-12)
+    array.adc = LogarithmicADC(node, bits=adc_bits, i_min=i_min, i_max=i_max)
+    report = CoDesignReport(
+        n_components=mixture.n_components,
+        total_columns=int(replication.sum()),
+        replication=replication,
+        width_codes=width_codes,
+        amplitude_error=amplitude_error,
+    )
+    return array, report

@@ -1,0 +1,255 @@
+"""Domain-tiled inverter arrays: finer kernels from the same devices.
+
+A single inverter array maps the whole flying domain onto one rail-to-rail
+voltage swing, so the narrowest realisable kernel width is a fixed fraction
+(~9% at 45 nm) of the domain extent.  Splitting the domain into tiles, each
+served by its own (smaller) array with its own world-to-voltage encoder,
+multiplies the effective world-resolution by the tile count per axis while
+keeping the per-query cost identical: the tile index is just the digital
+MSBs of the query coordinate, steering one array's DACs.
+
+Mixture components are assigned to every tile whose (overlap-padded) box
+contains their center, so kernels straddling a boundary contribute on both
+sides; the duplicated columns are reported in the tiling report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.energy import EnergyLedger
+from repro.circuits.inverter_array import VoltageEncoder
+from repro.circuits.noise import NoiseModel
+from repro.circuits.technology import TechnologyNode
+from repro.circuits.variability import MismatchSampler
+from repro.core.codesign import hardware_sigma_menu, program_inverter_array
+from repro.maps.hmgm import HMGMixture
+
+
+def tiled_sigma_menu(
+    node: TechnologyNode,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    tiles: tuple[int, int, int],
+    margin: float = 0.08,
+    fg_bits: int = 4,
+    apron_fraction: float = 0.25,
+) -> np.ndarray:
+    """Per-axis world-unit width menu under a tiled encoding, (3, n_codes).
+
+    Each tile's encoder spans the tile box plus an apron on both sides (so
+    kernels straddling a boundary stay representable); the menu reflects
+    that slightly larger span.
+    """
+    lo = np.asarray(lo, dtype=float)
+    hi = np.asarray(hi, dtype=float)
+    tile_size = (hi - lo) / np.asarray(tiles, dtype=float)
+    span = tile_size * (1.0 + 2.0 * apron_fraction)
+    encoder = VoltageEncoder(lo=lo, hi=lo + span, vdd=node.vdd, margin=margin)
+    return hardware_sigma_menu(node, encoder, fg_bits=fg_bits)
+
+
+@dataclass(frozen=True)
+class TilingReport:
+    """Audit record of a tiled programming run.
+
+    Attributes:
+        tiles: tile grid shape.
+        n_active_tiles: tiles that received at least one component.
+        total_columns: physical columns across all tiles.
+        duplicated_components: component-tile assignments beyond one per
+            component (the overlap cost).
+    """
+
+    tiles: tuple[int, int, int]
+    n_active_tiles: int
+    total_columns: int
+    duplicated_components: int
+
+
+class TiledInverterArrayMap:
+    """A likelihood map served by a grid of inverter-array tiles.
+
+    Args:
+        mixture: HMG mixture (widths should sit on the *tile* menu).
+        lo / hi: world bounds of the full domain.
+        node: technology node.
+        tiles: tile grid (nx, ny, nz).
+        columns_per_component: column replication budget per component.
+        overlap_sigmas: components are assigned to a tile when their center
+            lies within ``overlap_sigmas * max(sigma)`` of the tile box.
+        adc_bits / fg_bits / input_dac_bits / margin: hardware parameters
+            (see :func:`~repro.core.codesign.program_inverter_array`).
+        mismatch / noise: process variation and analog noise models.
+        rng: generator for hardware instantiation.
+    """
+
+    def __init__(
+        self,
+        mixture: HMGMixture,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        node: TechnologyNode,
+        tiles: tuple[int, int, int] = (2, 2, 2),
+        columns_per_component: float = 5.0,
+        overlap_sigmas: float = 2.0,
+        adc_bits: int = 4,
+        fg_bits: int = 4,
+        input_dac_bits: int = 6,
+        margin: float = 0.08,
+        apron_fraction: float = 0.25,
+        mismatch: MismatchSampler | None = None,
+        noise: NoiseModel | None = None,
+        rng: np.random.Generator | None = None,
+        eval_time_s: float = 1.0e-8,
+    ):
+        if any(t < 1 for t in tiles):
+            raise ValueError("tile counts must be >= 1")
+        self.mixture = mixture
+        self.lo = np.asarray(lo, dtype=float)
+        self.hi = np.asarray(hi, dtype=float)
+        if np.any(self.hi <= self.lo):
+            raise ValueError("hi must exceed lo")
+        self.node = node
+        self.tiles = tuple(int(t) for t in tiles)
+        self.tile_size = (self.hi - self.lo) / np.asarray(self.tiles, dtype=float)
+        self._arrays: dict[tuple[int, int, int], object] = {}
+        self._encoders: dict[tuple[int, int, int], VoltageEncoder] = {}
+        self.ledger = EnergyLedger(label=f"tiled-array{self.tiles}")
+
+        # Each tile's encoder covers the tile box plus an apron, so
+        # components whose center falls within the apron of a neighbouring
+        # tile are programmable there too and kernels straddling a boundary
+        # contribute on both sides.  The assignment reach is the smaller of
+        # the kernel reach and the apron (centers beyond the apron are not
+        # representable in this tile's voltage range).
+        apron = float(apron_fraction) * self.tile_size
+        self.apron = apron
+        reach = np.minimum(
+            overlap_sigmas * mixture.sigmas.max(axis=1)[:, None],
+            apron[None, :],
+        )
+        duplicated = 0
+        total_columns = 0
+        for index in np.ndindex(*self.tiles):
+            tile_lo = self.lo + np.asarray(index) * self.tile_size
+            tile_hi = tile_lo + self.tile_size
+            # Components whose kernel meaningfully reaches into this tile.
+            inside = np.all(
+                (mixture.means >= tile_lo - reach)
+                & (mixture.means <= tile_hi + reach),
+                axis=1,
+            )
+            if not inside.any():
+                continue
+            sub = HMGMixture(
+                mixture.weights[inside],
+                mixture.means[inside],
+                mixture.sigmas[inside],
+            )
+            duplicated += int(inside.sum())
+            encoder = VoltageEncoder(
+                lo=tile_lo - apron,
+                hi=tile_hi + apron,
+                vdd=node.vdd,
+                margin=margin,
+            )
+            budget = max(
+                sub.n_components,
+                int(round(columns_per_component * sub.n_components)),
+            )
+            array, _ = program_inverter_array(
+                sub,
+                encoder,
+                node,
+                total_columns=budget,
+                fg_bits=fg_bits,
+                adc_bits=adc_bits,
+                input_dac_bits=input_dac_bits,
+                mismatch=mismatch,
+                noise=noise,
+                rng=rng,
+                eval_time_s=eval_time_s,
+            )
+            total_columns += int(array.replication.sum())
+            self._arrays[index] = array
+            self._encoders[index] = encoder
+        if not self._arrays:
+            raise ValueError("no tile received any mixture component")
+        duplicated -= mixture.n_components
+        self.report = TilingReport(
+            tiles=self.tiles,
+            n_active_tiles=len(self._arrays),
+            total_columns=total_columns,
+            duplicated_components=max(duplicated, 0),
+        )
+        # Log-likelihood returned for points falling in a component-free
+        # tile: below every active tile's ADC floor.
+        floors = [a.adc.log_likelihood(np.array([0]))[0] for a in self._arrays.values()]
+        self._empty_tile_log = float(min(floors) - 1.0)
+
+    def tile_of(self, points: np.ndarray) -> np.ndarray:
+        """(N, 3) integer tile indices for world points (clipped to grid)."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        raw = np.floor((points - self.lo) / self.tile_size).astype(int)
+        return np.clip(raw, 0, np.asarray(self.tiles) - 1)
+
+    def field_log(
+        self, points: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """(N,) log field values; queries are routed to their tile's array."""
+        points = np.atleast_2d(np.asarray(points, dtype=float))
+        indices = self.tile_of(points)
+        result = np.full(points.shape[0], self._empty_tile_log)
+        # Group queries by tile to keep evaluations vectorised.
+        keys = (
+            indices[:, 0] * (self.tiles[1] * self.tiles[2])
+            + indices[:, 1] * self.tiles[2]
+            + indices[:, 2]
+        )
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        for group in np.split(order, boundaries):
+            index = tuple(indices[group[0]])
+            array = self._arrays.get(index)
+            if array is None:
+                continue
+            encoder = self._encoders[index]
+            result[group] = array.read_log_likelihood(
+                points[group], encoder, rng=rng
+            )
+        return result
+
+    def merged_ledger(self) -> EnergyLedger:
+        """Combined energy ledger across all tile arrays."""
+        merged = EnergyLedger(label=f"tiled-array{self.tiles}")
+        for array in self._arrays.values():
+            merged.merge(array.ledger)
+        return merged
+
+    def energy_per_query(self) -> float:
+        """Mean energy per likelihood query across tiles (J)."""
+        merged = self.merged_ledger()
+        queries = merged.count("adc_conversion")
+        if queries == 0:
+            return 0.0
+        return merged.total_energy_j() / queries
+
+
+class TiledCIMBackend:
+    """Measurement-model backend adapter for a tiled array map."""
+
+    def __init__(self, tiled_map: TiledInverterArrayMap):
+        self.tiled_map = tiled_map
+
+    @property
+    def ledger(self) -> EnergyLedger:
+        return self.tiled_map.merged_ledger()
+
+    def field_log(
+        self, points: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        return self.tiled_map.field_log(points, rng=rng)

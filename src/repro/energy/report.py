@@ -1,0 +1,53 @@
+"""Energy comparison reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.energy import format_energy
+
+
+@dataclass(frozen=True)
+class EnergyComparison:
+    """A named pair of energies with their ratio.
+
+    Attributes:
+        label: what is being compared.
+        baseline_j: the reference (e.g. digital) energy.
+        proposed_j: the proposed (e.g. CIM) energy.
+    """
+
+    label: str
+    baseline_j: float
+    proposed_j: float
+
+    @property
+    def ratio(self) -> float:
+        """baseline / proposed: >1 means the proposal wins."""
+        if self.proposed_j <= 0:
+            return float("inf")
+        return self.baseline_j / self.proposed_j
+
+    def row(self) -> dict:
+        return {
+            "comparison": self.label,
+            "baseline": format_energy(self.baseline_j),
+            "proposed": format_energy(self.proposed_j),
+            "ratio": round(self.ratio, 1),
+        }
+
+
+def comparison_table(comparisons: list[EnergyComparison]) -> str:
+    """Fixed-width text table of energy comparisons."""
+    if not comparisons:
+        return "(no comparisons)"
+    lines = [
+        f"{'comparison':<40}{'baseline':>12}{'proposed':>12}{'ratio':>8}"
+    ]
+    for comparison in comparisons:
+        row = comparison.row()
+        lines.append(
+            f"{row['comparison']:<40}{row['baseline']:>12}"
+            f"{row['proposed']:>12}{row['ratio']:>8}"
+        )
+    return "\n".join(lines)

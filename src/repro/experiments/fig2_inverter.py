@@ -1,0 +1,59 @@
+"""E1/E2 -- Fig. 2(b-d): inverter switching-current transfer functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.inverter import (
+    LikelihoodInverter,
+    SwitchingCurrentCell,
+    gaussian_equivalent_sigma,
+    width_code_sigmas,
+)
+from repro.circuits.technology import NODE_45NM, TechnologyNode
+from repro.maps.hmg import tail_rectilinearity
+
+
+def inverter_transfer_data(
+    node: TechnologyNode = NODE_45NM,
+    n_grid: int = 201,
+    centers: tuple[float, ...] = (0.35, 0.5, 0.65),
+) -> dict:
+    """Regenerate the Fig. 2(b-d) data.
+
+    Returns:
+        Dict with:
+        - "sweep_v": voltage grid;
+        - "sweeps": per-center 1D current bells (Fig. 2b);
+        - "peak_shift_error": worst |achieved - requested| peak position;
+        - "grid_2d": 2D current map of a two-input stack (Fig. 2c/d);
+        - "rectilinearity": (hmg_ratio, gaussian_ratio) contour box-ness
+          (the quantitative "rectilinear vs elliptical tails" of Fig. 2c);
+        - "width_menu_v": effective sigma per width code.
+    """
+    v = np.linspace(0.0, node.vdd, n_grid)
+    sweeps = {}
+    peak_errors = []
+    for center in centers:
+        cell = SwitchingCurrentCell(node, v_center=center, width_code=1)
+        current = cell.current(v)
+        sweeps[center] = current
+        peak_errors.append(abs(v[int(np.argmax(current))] - cell.achieved_center))
+    inverter = LikelihoodInverter.from_centers(
+        node, [node.vdd / 2.0, node.vdd / 2.0], width_codes=[1, 1]
+    )
+    vx, vy = np.meshgrid(v, v, indexing="ij")
+    points = np.stack([vx.reshape(-1), vy.reshape(-1)], axis=1)
+    grid_2d = inverter.current(points).reshape(n_grid, n_grid)
+    hmg_ratio, gauss_ratio = tail_rectilinearity(level=1e-3)
+    return {
+        "sweep_v": v,
+        "sweeps": sweeps,
+        "peak_shift_error": float(max(peak_errors)),
+        "grid_2d": grid_2d,
+        "rectilinearity": (hmg_ratio, gauss_ratio),
+        "width_menu_v": width_code_sigmas(node),
+        "sigma_code0_v": gaussian_equivalent_sigma(
+            SwitchingCurrentCell(node, node.vdd / 2.0, width_code=0)
+        ),
+    }

@@ -1,0 +1,87 @@
+"""E7 -- Fig. 3(f): correlation between pose error and predictive variance.
+
+Builds a mixed-difficulty test set (clean frames plus frames corrupted by
+near-range occluders, the paper's "people moving through the scene"
+disturbance) and scatters per-frame pose error against MC-Dropout variance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayesian.mc_dropout import MCDropoutPredictor
+from repro.bayesian.metrics import (
+    area_under_sparsification_error,
+    error_uncertainty_correlation,
+)
+from repro.core.cim_mc_dropout import CIMMCDropoutEngine
+from repro.experiments.common import build_vo_world
+from repro.sram.macro import MacroConfig
+from repro.vo.features import occlude_depth, pose_to_target
+
+
+def error_uncertainty_experiment(
+    seed: int = 1,
+    n_iterations: int = 30,
+    occlusion_levels: tuple[float, ...] = (0.0, 0.15, 0.3, 0.5),
+    engine: str = "software",
+    epochs: int = 200,
+) -> dict:
+    """Regenerate the Fig. 3(f) scatter and its correlation statistics.
+
+    Args:
+        engine: "software" (reference MC-Dropout) or "cim-4bit"/"cim-6bit"
+            (the macro engine).
+
+    Returns:
+        Dict with per-frame errors, uncertainties, severity labels, the
+        correlation statistics, and the AUSE ranking metric.
+    """
+    world = build_vo_world(seed=seed, epochs=epochs)
+    pairs = world.dataset.frame_pairs(world.val_scene_index)
+    encoder = world.train.encoder
+    occ_rng = np.random.default_rng(seed + 42)
+
+    features, targets, severity = [], [], []
+    for level in occlusion_levels:
+        for previous, current, relative in pairs:
+            depth_prev = occlude_depth(previous.depth, level, occ_rng)
+            depth_cur = occlude_depth(current.depth, level, occ_rng)
+            features.append(encoder.encode_pair(depth_prev, depth_cur))
+            targets.append(pose_to_target(relative))
+            severity.append(level)
+    features = world.train.feature_scaler.transform(np.stack(features, axis=0))
+    targets = np.stack(targets, axis=0)
+    severity = np.asarray(severity)
+
+    if engine == "software":
+        predictor = MCDropoutPredictor(
+            world.model, n_iterations=n_iterations, rng=np.random.default_rng(seed)
+        )
+        mc = predictor.predict(features)
+        mean, variance = mc.mean, mc.variance
+    elif engine.startswith("cim-"):
+        bits = int(engine.split("-")[1].replace("bit", ""))
+        cim = CIMMCDropoutEngine(
+            world.model,
+            MacroConfig(weight_bits=bits),
+            n_iterations=n_iterations,
+            calibration_inputs=world.train.features[:128],
+            rng=np.random.default_rng(seed),
+        )
+        result = cim.predict(features)
+        mean, variance = result.mean, result.variance
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+
+    predicted = world.train.scaler.inverse(mean)
+    errors = np.linalg.norm(predicted[:, :3] - targets[:, :3], axis=1)
+    uncertainties = variance.mean(axis=1)
+    correlation = error_uncertainty_correlation(errors, uncertainties)
+    return {
+        "errors": errors,
+        "uncertainties": uncertainties,
+        "severity": severity,
+        "correlation": correlation,
+        "ause": area_under_sparsification_error(errors, uncertainties),
+    }

@@ -1,0 +1,97 @@
+"""E6 -- Fig. 3(c-e): MC-Dropout VO trajectories vs deterministic configs.
+
+Integrates predicted frame-to-frame increments over the held-out scene and
+compares trajectories in the X-Y / Y-Z / X-Z planes against ground truth,
+across inference conditions: deterministic float, deterministic quantised,
+and CIM MC-Dropout at 4- and 6-bit weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayesian.mc_dropout import MCDropoutPredictor
+from repro.core.cim_mc_dropout import CIMMCDropoutEngine
+from repro.experiments.common import build_vo_world
+from repro.nn.quantization import quantize_model_weights
+from repro.sram.macro import MacroConfig
+from repro.vo.evaluation import trajectory_report
+from repro.vo.odometry import increments_from_predictions, integrate_increments
+
+
+def _copy_model(world):
+    """Clone the trained model (for destructive weight quantisation)."""
+    import copy
+
+    return copy.deepcopy(world.model)
+
+
+def vo_trajectory_experiment(
+    seed: int = 1,
+    n_iterations: int = 30,
+    modes: tuple[str, ...] = (
+        "deterministic-float",
+        "deterministic-4bit",
+        "mc-cim-4bit",
+        "mc-cim-6bit",
+    ),
+    epochs: int = 200,
+) -> dict:
+    """Regenerate the Fig. 3(c-e) trajectory comparison.
+
+    Returns:
+        Dict with "ground_truth" positions (T, 3), per-mode estimated
+        positions, per-mode trajectory metrics, and per-mode per-step
+        uncertainty (MC modes only).
+    """
+    world = build_vo_world(seed=seed, epochs=epochs)
+    val = world.val
+    frames = world.dataset.frames(world.val_scene_index)
+    gt_poses = [frame.pose for frame in frames]
+    start = gt_poses[0]
+
+    results: dict = {
+        "ground_truth": np.stack([p.translation for p in gt_poses], axis=0),
+        "modes": {},
+    }
+    for mode in modes:
+        uncertainty = None
+        if mode == "deterministic-float":
+            predictor = MCDropoutPredictor(world.model, n_iterations=1)
+            predictions = predictor.deterministic(val.features)
+        elif mode.startswith("deterministic-"):
+            bits = int(mode.split("-")[1].replace("bit", ""))
+            model = _copy_model(world)
+            quantize_model_weights(model, bits)
+            predictor = MCDropoutPredictor(model, n_iterations=1)
+            predictions = predictor.deterministic(val.features)
+        elif mode.startswith("mc-cim-"):
+            bits = int(mode.split("-")[2].replace("bit", ""))
+            engine = CIMMCDropoutEngine(
+                world.model,
+                MacroConfig(weight_bits=bits),
+                n_iterations=n_iterations,
+                calibration_inputs=world.train.features[:128],
+                rng=np.random.default_rng(seed + 77),
+            )
+            mc = engine.predict(val.features)
+            predictions = mc.mean
+            uncertainty = mc.variance.mean(axis=1)
+        elif mode == "mc-software":
+            predictor = MCDropoutPredictor(
+                world.model, n_iterations=n_iterations,
+                rng=np.random.default_rng(seed + 78),
+            )
+            mc = predictor.predict(val.features)
+            predictions = mc.mean
+            uncertainty = mc.variance.mean(axis=1)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        increments = increments_from_predictions(predictions, val.scaler)
+        estimated = integrate_increments(start, increments)
+        results["modes"][mode] = {
+            "positions": np.stack([p.translation for p in estimated], axis=0),
+            "report": trajectory_report(estimated, gt_poses),
+            "uncertainty": uncertainty,
+        }
+    return results

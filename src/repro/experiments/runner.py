@@ -1,0 +1,98 @@
+"""Experiment registry and command-line runner.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner E1 E9
+    python -m repro.experiments.runner all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments.fig2_inverter import inverter_transfer_data
+from repro.experiments.fig2_localization import localization_comparison, summarize
+from repro.experiments.fig2_energy import likelihood_energy_comparison
+from repro.experiments.fig3_rng import rng_statistics
+from repro.experiments.fig3_trajectory import vo_trajectory_experiment
+from repro.experiments.fig3_correlation import error_uncertainty_experiment
+from repro.experiments.tops_per_watt import efficiency_table
+from repro.experiments.reuse_ablation import reuse_ablation
+from repro.experiments.map_fidelity import map_fidelity
+from repro.experiments.conformal_vo import conformal_vo_experiment
+
+
+def _run_e1() -> dict:
+    data = inverter_transfer_data()
+    return {
+        "peak_shift_error_v": data["peak_shift_error"],
+        "rectilinearity": data["rectilinearity"],
+    }
+
+
+def _run_e3() -> dict:
+    return {"rows": summarize(localization_comparison())}
+
+
+def _run_e6() -> dict:
+    data = vo_trajectory_experiment()
+    return {
+        mode: result["report"]["ate_rmse_m"]
+        for mode, result in data["modes"].items()
+    }
+
+
+def _run_e7() -> dict:
+    data = error_uncertainty_experiment()
+    return {"correlation": data["correlation"], "ause": data["ause"]}
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[], dict]]] = {
+    "E1": ("Fig 2b-d: inverter transfer functions", _run_e1),
+    "E3": ("Fig 2e-h: localization comparison", _run_e3),
+    "E4": ("Fig 2i: likelihood energy", likelihood_energy_comparison),
+    "E5": ("Fig 3b: SRAM RNG statistics", rng_statistics),
+    "E6": ("Fig 3c-e: VO trajectories", _run_e6),
+    "E7": ("Fig 3f: error-uncertainty correlation", _run_e7),
+    "E8": ("Sec III-D: TOPS/W table", efficiency_table),
+    "E9": ("Sec III-C: reuse ablation", reuse_ablation),
+    "E10": ("Sec II-C: map fidelity", map_fidelity),
+    "E11": ("Sec IV: conformal extension", conformal_vo_experiment),
+}
+
+
+def run(experiment_id: str) -> dict:
+    """Run one experiment by id (e.g. "E4"); returns its result dict."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"
+        )
+    _, fn = EXPERIMENTS[key]
+    return fn()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("ids", nargs="*", help="experiment ids (or 'all')")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    args = parser.parse_args(argv)
+    if args.list or not args.ids:
+        for key, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"  {key:4} {description}")
+        return 0
+    ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
+    for experiment_id in ids:
+        description, _ = EXPERIMENTS[experiment_id.upper()]
+        print(f"\n### {experiment_id.upper()} -- {description}")
+        result = run(experiment_id)
+        for key, value in result.items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

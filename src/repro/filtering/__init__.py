@@ -1,0 +1,49 @@
+"""Bayesian filtering: particle filters, motion/measurement models, EKF.
+
+Implements the recursive Bayes update of paper Eq. (1): a prediction step
+through a probabilistic motion model and a correction step weighting
+hypotheses by measurement likelihood, realised with a sampling (particle)
+representation.  Measurement likelihoods are pluggable: an exact digital
+GMM backend, a precision-limited digital backend, or the CIM inverter-array
+backend.
+"""
+
+from repro.filtering.particles import ParticleSet
+from repro.filtering.motion import (
+    MotionModel,
+    OdometryMotionModel,
+    RandomWalkMotionModel,
+)
+from repro.filtering.measurement import (
+    CIMArrayBackend,
+    DepthScanMeasurementModel,
+    DigitalGMMBackend,
+    MapFieldBackend,
+)
+from repro.filtering.resampling import (
+    effective_sample_size,
+    multinomial_resample,
+    residual_resample,
+    stratified_resample,
+    systematic_resample,
+)
+from repro.filtering.particle_filter import ParticleFilter
+from repro.filtering.kalman import ExtendedKalmanFilter
+
+__all__ = [
+    "ParticleSet",
+    "MotionModel",
+    "OdometryMotionModel",
+    "RandomWalkMotionModel",
+    "MapFieldBackend",
+    "DigitalGMMBackend",
+    "CIMArrayBackend",
+    "DepthScanMeasurementModel",
+    "effective_sample_size",
+    "systematic_resample",
+    "multinomial_resample",
+    "stratified_resample",
+    "residual_resample",
+    "ParticleFilter",
+    "ExtendedKalmanFilter",
+]

@@ -1,0 +1,102 @@
+"""Probabilistic motion models P(x_t | u_t, x_{t-1}).
+
+States are ``(x, y, z, yaw)``; controls are body-frame increments
+``(d_forward, d_lateral, d_up, d_yaw)``.  Noise is injected per particle so
+the predicted set represents motion uncertainty (paper Eq. 1a).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.filtering.particles import YAW_INDEX, ParticleSet
+
+
+def wrap_angle(angle: np.ndarray) -> np.ndarray:
+    """Wrap angle(s) to (-pi, pi]."""
+    return np.mod(np.asarray(angle) + np.pi, 2.0 * np.pi) - np.pi
+
+
+class MotionModel(abc.ABC):
+    """Base motion model."""
+
+    @abc.abstractmethod
+    def propagate(
+        self, particles: ParticleSet, control: np.ndarray, rng: np.random.Generator
+    ) -> ParticleSet:
+        """Sample x_t ~ P(. | u_t, x_{t-1}) for every particle."""
+
+
+class OdometryMotionModel(MotionModel):
+    """Body-frame odometry increments with additive Gaussian noise.
+
+    Args:
+        translation_noise: 1-sigma noise per translation axis (m), applied
+            on top of a noise floor proportional to the commanded motion.
+        yaw_noise: 1-sigma heading noise (rad).
+        proportional_noise: extra noise as a fraction of the increment
+            magnitude (wheel-slip / airflow analogue).
+    """
+
+    def __init__(
+        self,
+        translation_noise: float = 0.02,
+        yaw_noise: float = 0.01,
+        proportional_noise: float = 0.1,
+    ):
+        if translation_noise < 0 or yaw_noise < 0 or proportional_noise < 0:
+            raise ValueError("noise parameters must be non-negative")
+        self.translation_noise = float(translation_noise)
+        self.yaw_noise = float(yaw_noise)
+        self.proportional_noise = float(proportional_noise)
+
+    def propagate(
+        self, particles: ParticleSet, control: np.ndarray, rng: np.random.Generator
+    ) -> ParticleSet:
+        control = np.asarray(control, dtype=float).reshape(-1)
+        if control.size != 4:
+            raise ValueError("control must be (d_forward, d_lateral, d_up, d_yaw)")
+        states = particles.states.copy()
+        n = particles.n_particles
+        d_body = control[:3]
+        translation_sigma = (
+            self.translation_noise + self.proportional_noise * np.abs(d_body)
+        )
+        yaw_sigma = self.yaw_noise + self.proportional_noise * abs(control[3])
+        noisy_body = d_body + rng.normal(size=(n, 3)) * translation_sigma
+        noisy_dyaw = control[3] + rng.normal(size=n) * yaw_sigma
+        yaw = states[:, YAW_INDEX]
+        cos_y, sin_y = np.cos(yaw), np.sin(yaw)
+        # Rotate the body-frame increment into the world frame per particle.
+        states[:, 0] += cos_y * noisy_body[:, 0] - sin_y * noisy_body[:, 1]
+        states[:, 1] += sin_y * noisy_body[:, 0] + cos_y * noisy_body[:, 1]
+        states[:, 2] += noisy_body[:, 2]
+        states[:, YAW_INDEX] = wrap_angle(yaw + noisy_dyaw)
+        return ParticleSet(states, particles.log_weights.copy())
+
+
+class RandomWalkMotionModel(MotionModel):
+    """Pure diffusion (no control), for ablation and roughening.
+
+    Args:
+        translation_sigma: 1-sigma position diffusion per step (m).
+        yaw_sigma: 1-sigma heading diffusion per step (rad).
+    """
+
+    def __init__(self, translation_sigma: float = 0.05, yaw_sigma: float = 0.02):
+        if translation_sigma < 0 or yaw_sigma < 0:
+            raise ValueError("sigmas must be non-negative")
+        self.translation_sigma = float(translation_sigma)
+        self.yaw_sigma = float(yaw_sigma)
+
+    def propagate(
+        self, particles: ParticleSet, control: np.ndarray, rng: np.random.Generator
+    ) -> ParticleSet:
+        states = particles.states.copy()
+        states[:, :3] += rng.normal(size=(particles.n_particles, 3)) * self.translation_sigma
+        states[:, YAW_INDEX] = wrap_angle(
+            states[:, YAW_INDEX] + rng.normal(size=particles.n_particles) * self.yaw_sigma
+        )
+        return ParticleSet(states, particles.log_weights.copy())

@@ -1,0 +1,77 @@
+"""Shared mixture-fitting machinery: k-means++ initialisation and k-means."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D^2 sampling.
+
+    Args:
+        points: (N, D) data.
+        k: number of centers (1 <= k <= N).
+        rng: random generator.
+
+    Returns:
+        (k, D) initial centers.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k={k} must be in [1, {n}]")
+    centers = np.empty((k, points.shape[1]))
+    centers[0] = points[rng.integers(n)]
+    closest_sq = np.full(n, np.inf)
+    for j in range(1, k):
+        dist_sq = np.sum((points - centers[j - 1]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+        total = closest_sq.sum()
+        if total <= 0:
+            # All points coincide with chosen centers; reuse a random point.
+            centers[j] = points[rng.integers(n)]
+            continue
+        centers[j] = points[rng.choice(n, p=closest_sq / total)]
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iters: int = 50,
+    tol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's k-means with k-means++ seeding.
+
+    Args:
+        points: (N, D) data.
+        k: number of clusters.
+        rng: random generator.
+        max_iters: Lloyd iteration cap.
+        tol: stop when centers move less than this (max norm).
+
+    Returns:
+        (centers, labels): (k, D) centers and (N,) hard assignments.
+    """
+    points = np.asarray(points, dtype=float)
+    centers = kmeans_plus_plus_init(points, k, rng)
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    for _ in range(max_iters):
+        dist_sq = np.sum((points[:, None, :] - centers[None, :, :]) ** 2, axis=2)
+        labels = np.argmin(dist_sq, axis=1)
+        new_centers = centers.copy()
+        for j in range(k):
+            mask = labels == j
+            if mask.any():
+                new_centers[j] = points[mask].mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the worst-fit point.
+                new_centers[j] = points[np.argmax(dist_sq.min(axis=1))]
+        shift = np.abs(new_centers - centers).max()
+        centers = new_centers
+        if shift < tol:
+            break
+    return centers, labels

@@ -1,0 +1,66 @@
+"""Point-cloud container and utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scene.camera import PinholeCamera
+from repro.scene.se3 import Pose
+
+
+class PointCloud:
+    """An (N, 3) set of 3D points with simple geometry utilities."""
+
+    def __init__(self, points: np.ndarray):
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"expected (N, 3) points, got {points.shape}")
+        if points.shape[0] == 0:
+            raise ValueError("point cloud is empty")
+        self._points = points
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._points
+
+    def __len__(self) -> int:
+        return self._points.shape[0]
+
+    @staticmethod
+    def from_depth(depth: np.ndarray, camera: PinholeCamera, pose: Pose, stride: int = 1) -> "PointCloud":
+        """Backproject a depth image into a world-frame cloud."""
+        return PointCloud(camera.scan_to_world(depth, pose, stride=stride))
+
+    def transformed(self, pose: Pose) -> "PointCloud":
+        """The cloud moved by a rigid transform."""
+        return PointCloud(pose.transform_points(self._points))
+
+    def subsampled(self, n: int, rng: np.random.Generator) -> "PointCloud":
+        """A uniformly subsampled copy with at most ``n`` points."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if n >= len(self):
+            return PointCloud(self._points.copy())
+        idx = rng.choice(len(self), size=n, replace=False)
+        return PointCloud(self._points[idx])
+
+    def bounds(self, padding: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """Axis-aligned (lo, hi) bounds, optionally padded."""
+        lo = self._points.min(axis=0) - padding
+        hi = self._points.max(axis=0) + padding
+        return lo, hi
+
+    def centroid(self) -> np.ndarray:
+        return self._points.mean(axis=0)
+
+    def voxel_downsampled(self, voxel_size: float) -> "PointCloud":
+        """One representative (mean) point per occupied voxel."""
+        if voxel_size <= 0:
+            raise ValueError("voxel_size must be positive")
+        keys = np.floor(self._points / voxel_size).astype(np.int64)
+        _, inverse, counts = np.unique(
+            keys, axis=0, return_inverse=True, return_counts=True
+        )
+        sums = np.zeros((counts.size, 3))
+        np.add.at(sums, inverse, self._points)
+        return PointCloud(sums / counts[:, None])

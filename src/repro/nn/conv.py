@@ -1,0 +1,179 @@
+"""2D convolution and pooling (im2col implementation).
+
+Input layout is channels-first: (batch, channels, height, width).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import he_normal
+from repro.nn.module import Module, Parameter
+
+
+def _im2col(
+    x: np.ndarray, kernel: int, stride: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold (B, C, H, W) into (B, out_h * out_w, C * k * k) patches."""
+    batch, channels, height, width = x.shape
+    out_h = (height - kernel) // stride + 1
+    out_w = (width - kernel) // stride + 1
+    strides = x.strides
+    shape = (batch, channels, out_h, out_w, kernel, kernel)
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=shape,
+        strides=(
+            strides[0],
+            strides[1],
+            strides[2] * stride,
+            strides[3] * stride,
+            strides[2],
+            strides[3],
+        ),
+        writeable=False,
+    )
+    cols = view.transpose(0, 2, 3, 1, 4, 5).reshape(
+        batch, out_h * out_w, channels * kernel * kernel
+    )
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+class Conv2d(Module):
+    """2D convolution (valid padding unless ``padding`` is given).
+
+    Args:
+        in_channels / out_channels: channel counts.
+        kernel_size: square kernel side.
+        rng: generator for He initialisation.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        bias: include per-channel bias.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        name: str = "",
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("bad conv hyper-parameters")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.weight = Parameter(
+            he_normal((out_channels, in_channels, kernel_size, kernel_size), rng),
+            name=f"{name}.W",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.b") if bias else None
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def parameters(self) -> list[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(f"expected (B, {self.in_channels}, H, W), got {x.shape}")
+        if self.padding > 0:
+            x = np.pad(
+                x,
+                ((0, 0), (0, 0), (self.padding, self.padding), (self.padding, self.padding)),
+            )
+        self._x_shape = x.shape
+        cols, out_h, out_w = _im2col(x, self.kernel_size, self.stride)
+        self._cols = cols
+        self._out_hw = (out_h, out_w)
+        w_flat = self.weight.value.reshape(self.out_channels, -1)
+        out = cols @ w_flat.T
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out.transpose(0, 2, 1).reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None:
+            raise RuntimeError("backward before forward")
+        batch = grad_output.shape[0]
+        out_h, out_w = self._out_hw
+        grad = (
+            np.asarray(grad_output, dtype=float)
+            .reshape(batch, self.out_channels, out_h * out_w)
+            .transpose(0, 2, 1)
+        )
+        w_flat = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += (
+            np.einsum("bpo,bpk->ok", grad, self._cols)
+        ).reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 1))
+        grad_cols = grad @ w_flat
+        # Fold the column gradient back onto the (padded) input.
+        _, channels, height, width = self._x_shape
+        grad_x = np.zeros((batch, channels, height, width))
+        k, s = self.kernel_size, self.stride
+        patch = grad_cols.reshape(batch, out_h, out_w, channels, k, k)
+        for i in range(out_h):
+            for j in range(out_w):
+                grad_x[:, :, i * s : i * s + k, j * s : j * s + k] += patch[:, i, j]
+        if self.padding > 0:
+            grad_x = grad_x[
+                :, :, self.padding : height - self.padding, self.padding : width - self.padding
+            ]
+        return grad_x
+
+
+class MaxPool2d(Module):
+    """Max pooling with square window and matching stride."""
+
+    def __init__(self, kernel_size: int = 2):
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = int(kernel_size)
+        self._argmax: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        batch, channels, height, width = x.shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        trimmed = x[:, :, : out_h * k, : out_w * k]
+        self._x_shape = x.shape
+        windows = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(
+            batch, channels, out_h, out_w, k * k
+        )
+        self._argmax = windows.argmax(axis=-1)
+        return windows.max(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None:
+            raise RuntimeError("backward before forward")
+        batch, channels, height, width = self._x_shape
+        k = self.kernel_size
+        out_h, out_w = height // k, width // k
+        grad_windows = np.zeros((batch, channels, out_h, out_w, k * k))
+        b, c, i, j = np.indices((batch, channels, out_h, out_w))
+        grad_windows[b, c, i, j, self._argmax] = grad_output
+        grad_x = np.zeros((batch, channels, height, width))
+        grad_x[:, :, : out_h * k, : out_w * k] = (
+            grad_windows.reshape(batch, channels, out_h, out_w, k, k)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(batch, channels, out_h * k, out_w * k)
+        )
+        return grad_x

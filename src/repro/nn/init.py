@@ -1,0 +1,32 @@
+"""Weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0
+) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(+-gain * sqrt(6 / (fan_in + fan_out)))."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming normal init: N(0, sqrt(2 / fan_in)) (for ReLU nets)."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(scale=np.sqrt(2.0 / fan_in), size=shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("shape must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    # Conv kernels (out, in, kh, kw): receptive field multiplies the fans.
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

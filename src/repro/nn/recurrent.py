@@ -1,0 +1,131 @@
+"""LSTM layer with full backpropagation through time.
+
+Included because the VO literature the paper builds on (PoseLSTM, DeepVO)
+models sequential dependencies between frames; the sequence variant of the
+VO pipeline uses this layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform
+from repro.nn.module import Module, Parameter
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+class LSTM(Module):
+    """A single-layer LSTM over (batch, time, features) sequences.
+
+    Returns the full hidden-state sequence (batch, time, hidden); stack a
+    Dense head on the last step for sequence regression.
+
+    Args:
+        input_size: feature width.
+        hidden_size: hidden-state width.
+        rng: generator for initialisation.
+        return_sequence: if False, forward returns only the last hidden
+            state (batch, hidden).
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator,
+        return_sequence: bool = True,
+        name: str = "lstm",
+    ):
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("sizes must be positive")
+        self.input_size = int(input_size)
+        self.hidden_size = int(hidden_size)
+        self.return_sequence = bool(return_sequence)
+        # Gate order: input, forget, cell, output (i, f, g, o).
+        self.w_x = Parameter(
+            xavier_uniform((input_size, 4 * hidden_size), rng), name=f"{name}.Wx"
+        )
+        self.w_h = Parameter(
+            xavier_uniform((hidden_size, 4 * hidden_size), rng), name=f"{name}.Wh"
+        )
+        bias = np.zeros(4 * hidden_size)
+        # Forget-gate bias starts at 1 (standard trick for gradient flow).
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias, name=f"{name}.b")
+        self._cache: dict | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.w_x, self.w_h, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(f"expected (B, T, {self.input_size}), got {x.shape}")
+        batch, steps, _ = x.shape
+        h = np.zeros((batch, self.hidden_size))
+        c = np.zeros((batch, self.hidden_size))
+        hs = np.empty((batch, steps, self.hidden_size))
+        cache = {"x": x, "h": [], "c": [], "gates": [], "c_prev": [], "h_prev": []}
+        for t in range(steps):
+            pre = x[:, t] @ self.w_x.value + h @ self.w_h.value + self.bias.value
+            i = _sigmoid(pre[:, : self.hidden_size])
+            f = _sigmoid(pre[:, self.hidden_size : 2 * self.hidden_size])
+            g = np.tanh(pre[:, 2 * self.hidden_size : 3 * self.hidden_size])
+            o = _sigmoid(pre[:, 3 * self.hidden_size :])
+            cache["c_prev"].append(c)
+            cache["h_prev"].append(h)
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            hs[:, t] = h
+            cache["gates"].append((i, f, g, o))
+            cache["c"].append(c)
+            cache["h"].append(h)
+        self._cache = cache
+        return hs if self.return_sequence else hs[:, -1]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        grad_output = np.asarray(grad_output, dtype=float)
+        if not self.return_sequence:
+            full = np.zeros((batch, steps, self.hidden_size))
+            full[:, -1] = grad_output
+            grad_output = full
+        grad_x = np.zeros_like(x)
+        dh_next = np.zeros((batch, self.hidden_size))
+        dc_next = np.zeros((batch, self.hidden_size))
+        for t in reversed(range(steps)):
+            i, f, g, o = cache["gates"][t]
+            c = cache["c"][t]
+            c_prev = cache["c_prev"][t]
+            h_prev = cache["h_prev"][t]
+            dh = grad_output[:, t] + dh_next
+            tanh_c = np.tanh(c)
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            df = dc * c_prev
+            dg = dc * i
+            dc_next = dc * f
+            d_pre = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            self.w_x.grad += x[:, t].T @ d_pre
+            self.w_h.grad += h_prev.T @ d_pre
+            self.bias.grad += d_pre.sum(axis=0)
+            grad_x[:, t] = d_pre @ self.w_x.value.T
+            dh_next = d_pre @ self.w_h.value.T
+        return grad_x

@@ -1,0 +1,57 @@
+"""Sequential container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.nn.dropout import Dropout
+from repro.nn.layers import Dense
+from repro.nn.module import Module, Parameter
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, layers: Sequence[Module]):
+        super().__init__()
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def children(self) -> list[Module]:
+        return list(self.layers)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def dense_layers(self) -> list[Dense]:
+        """All Dense layers, in order (used by the CIM weight mapper)."""
+        return [layer for layer in self.layers if isinstance(layer, Dense)]
+
+    def dropout_layers(self) -> list[Dropout]:
+        """All Dropout layers, in order (used by the mask scheduler)."""
+        return [layer for layer in self.layers if isinstance(layer, Dropout)]

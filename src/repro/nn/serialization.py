@@ -1,0 +1,39 @@
+"""Model state save/load (npz)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+
+def save_state(model, path: str) -> None:
+    """Save all parameters of ``model`` to an ``.npz`` file."""
+    arrays = {}
+    for index, parameter in enumerate(model.parameters()):
+        key = f"{index:03d}:{parameter.name or 'param'}"
+        arrays[key] = parameter.value
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def load_state(model, path: str) -> None:
+    """Load parameters saved by :func:`save_state` into ``model``.
+
+    Parameters are matched positionally; shapes must agree.
+    """
+    data = np.load(path)
+    keys = sorted(data.files)
+    parameters = model.parameters()
+    if len(keys) != len(parameters):
+        raise ValueError(
+            f"checkpoint has {len(keys)} arrays, model has {len(parameters)} parameters"
+        )
+    for key, parameter in zip(keys, parameters):
+        value = data[key]
+        if value.shape != parameter.value.shape:
+            raise ValueError(
+                f"shape mismatch for {key}: {value.shape} vs {parameter.value.shape}"
+            )
+        parameter.value = value.astype(float)

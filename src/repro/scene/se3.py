@@ -1,0 +1,239 @@
+"""Rigid-body (SE(3)) pose math.
+
+All rotations are represented as 3x3 orthonormal matrices internally; helpers
+convert to/from XYZ Euler angles and unit quaternions.  A :class:`Pose` maps
+points from its local frame to the world frame: ``p_world = R @ p_local + t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    """Rotation matrix about the +X axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    """Rotation matrix about the +Y axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+
+
+def rotation_z(angle: float) -> np.ndarray:
+    """Rotation matrix about the +Z axis by ``angle`` radians."""
+    c, s = np.cos(angle), np.sin(angle)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def euler_to_matrix(roll: float, pitch: float, yaw: float) -> np.ndarray:
+    """Compose an XYZ (roll-pitch-yaw) Euler triple into a rotation matrix.
+
+    Convention: ``R = Rz(yaw) @ Ry(pitch) @ Rx(roll)`` (intrinsic x-y-z).
+    """
+    return rotation_z(yaw) @ rotation_y(pitch) @ rotation_x(roll)
+
+
+def matrix_to_euler(rotation: np.ndarray) -> tuple[float, float, float]:
+    """Recover (roll, pitch, yaw) from a rotation matrix.
+
+    Inverse of :func:`euler_to_matrix`.  At the gimbal-lock singularity
+    (|pitch| = pi/2) the roll is arbitrarily set to zero.
+    """
+    rotation = np.asarray(rotation, dtype=float)
+    sin_pitch = -rotation[2, 0]
+    sin_pitch = np.clip(sin_pitch, -1.0, 1.0)
+    pitch = float(np.arcsin(sin_pitch))
+    if abs(sin_pitch) < 1.0 - 1e-9:
+        roll = float(np.arctan2(rotation[2, 1], rotation[2, 2]))
+        yaw = float(np.arctan2(rotation[1, 0], rotation[0, 0]))
+    else:
+        roll = 0.0
+        yaw = float(np.arctan2(-rotation[0, 1], rotation[1, 1]))
+    return roll, pitch, yaw
+
+
+def quaternion_to_matrix(quaternion: np.ndarray) -> np.ndarray:
+    """Convert a (w, x, y, z) quaternion to a rotation matrix.
+
+    The quaternion is normalised first, so any non-zero 4-vector is valid.
+    """
+    q = np.asarray(quaternion, dtype=float)
+    norm = np.linalg.norm(q)
+    if norm < _EPS:
+        raise ValueError("zero-norm quaternion cannot be normalised")
+    w, x, y, z = q / norm
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def matrix_to_quaternion(rotation: np.ndarray) -> np.ndarray:
+    """Convert a rotation matrix to a (w, x, y, z) unit quaternion, w >= 0."""
+    m = np.asarray(rotation, dtype=float)
+    trace = m[0, 0] + m[1, 1] + m[2, 2]
+    if trace > 0.0:
+        s = 2.0 * np.sqrt(trace + 1.0)
+        w = 0.25 * s
+        x = (m[2, 1] - m[1, 2]) / s
+        y = (m[0, 2] - m[2, 0]) / s
+        z = (m[1, 0] - m[0, 1]) / s
+    elif m[0, 0] >= m[1, 1] and m[0, 0] >= m[2, 2]:
+        s = 2.0 * np.sqrt(1.0 + m[0, 0] - m[1, 1] - m[2, 2])
+        w = (m[2, 1] - m[1, 2]) / s
+        x = 0.25 * s
+        y = (m[0, 1] + m[1, 0]) / s
+        z = (m[0, 2] + m[2, 0]) / s
+    elif m[1, 1] >= m[2, 2]:
+        s = 2.0 * np.sqrt(1.0 + m[1, 1] - m[0, 0] - m[2, 2])
+        w = (m[0, 2] - m[2, 0]) / s
+        x = (m[0, 1] + m[1, 0]) / s
+        y = 0.25 * s
+        z = (m[1, 2] + m[2, 1]) / s
+    else:
+        s = 2.0 * np.sqrt(1.0 + m[2, 2] - m[0, 0] - m[1, 1])
+        w = (m[1, 0] - m[0, 1]) / s
+        x = (m[0, 2] + m[2, 0]) / s
+        y = (m[1, 2] + m[2, 1]) / s
+        z = 0.25 * s
+    quat = np.array([w, x, y, z])
+    quat /= np.linalg.norm(quat)
+    if quat[0] < 0:
+        quat = -quat
+    return quat
+
+
+def rotation_angle(rotation: np.ndarray) -> float:
+    """Geodesic angle (radians, in [0, pi]) of a rotation matrix."""
+    trace = float(np.trace(np.asarray(rotation, dtype=float)))
+    return float(np.arccos(np.clip((trace - 1.0) / 2.0, -1.0, 1.0)))
+
+
+def _project_to_so3(matrix: np.ndarray) -> np.ndarray:
+    """Project a near-rotation matrix onto SO(3) via SVD."""
+    u, _, vt = np.linalg.svd(matrix)
+    rotation = u @ vt
+    if np.linalg.det(rotation) < 0:
+        u[:, -1] = -u[:, -1]
+        rotation = u @ vt
+    return rotation
+
+
+@dataclass(frozen=True)
+class Pose:
+    """A rigid transform mapping local coordinates to world coordinates.
+
+    Attributes:
+        rotation: 3x3 orthonormal matrix.
+        translation: length-3 vector (the local origin in world frame).
+    """
+
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    translation: np.ndarray = field(default_factory=lambda: np.zeros(3))
+
+    def __post_init__(self) -> None:
+        rotation = np.asarray(self.rotation, dtype=float).reshape(3, 3)
+        translation = np.asarray(self.translation, dtype=float).reshape(3)
+        object.__setattr__(self, "rotation", rotation)
+        object.__setattr__(self, "translation", translation)
+
+    @staticmethod
+    def identity() -> "Pose":
+        """The identity transform."""
+        return Pose()
+
+    @staticmethod
+    def from_euler(
+        position: np.ndarray, roll: float = 0.0, pitch: float = 0.0, yaw: float = 0.0
+    ) -> "Pose":
+        """Build a pose from a position and XYZ Euler angles."""
+        return Pose(euler_to_matrix(roll, pitch, yaw), np.asarray(position, dtype=float))
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray) -> "Pose":
+        """Build a pose from a 4x4 homogeneous transform matrix."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (4, 4):
+            raise ValueError(f"expected 4x4 matrix, got {matrix.shape}")
+        return Pose(matrix[:3, :3], matrix[:3, 3])
+
+    def as_matrix(self) -> np.ndarray:
+        """Return the 4x4 homogeneous transform matrix."""
+        matrix = np.eye(4)
+        matrix[:3, :3] = self.rotation
+        matrix[:3, 3] = self.translation
+        return matrix
+
+    def compose(self, other: "Pose") -> "Pose":
+        """Compose with another pose: ``self @ other`` (apply other first)."""
+        return Pose(
+            self.rotation @ other.rotation,
+            self.rotation @ other.translation + self.translation,
+        )
+
+    def __matmul__(self, other: "Pose") -> "Pose":
+        return self.compose(other)
+
+    def inverse(self) -> "Pose":
+        """The inverse transform."""
+        rotation_t = self.rotation.T
+        return Pose(rotation_t, -rotation_t @ self.translation)
+
+    def relative_to(self, reference: "Pose") -> "Pose":
+        """Express this pose in the frame of ``reference``.
+
+        ``reference @ result == self``; the usual frame-to-frame odometry
+        increment between consecutive camera poses.
+        """
+        return reference.inverse().compose(self)
+
+    def transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Map an (N, 3) array of local points into the world frame."""
+        points = np.asarray(points, dtype=float)
+        return points @ self.rotation.T + self.translation
+
+    def inverse_transform_points(self, points: np.ndarray) -> np.ndarray:
+        """Map an (N, 3) array of world points into the local frame."""
+        points = np.asarray(points, dtype=float)
+        return (points - self.translation) @ self.rotation
+
+    def rotate_vectors(self, vectors: np.ndarray) -> np.ndarray:
+        """Rotate (N, 3) direction vectors into the world frame (no shift)."""
+        return np.asarray(vectors, dtype=float) @ self.rotation.T
+
+    def euler(self) -> tuple[float, float, float]:
+        """Return (roll, pitch, yaw) of the rotation part."""
+        return matrix_to_euler(self.rotation)
+
+    def quaternion(self) -> np.ndarray:
+        """Return the (w, x, y, z) quaternion of the rotation part."""
+        return matrix_to_quaternion(self.rotation)
+
+    def orthonormalized(self) -> "Pose":
+        """Return a copy with the rotation re-projected onto SO(3).
+
+        Useful after long chains of composed increments where floating-point
+        drift accumulates.
+        """
+        return Pose(_project_to_so3(self.rotation), self.translation)
+
+    def distance_to(self, other: "Pose") -> tuple[float, float]:
+        """Return (translation distance, rotation angle) to another pose."""
+        delta = self.inverse().compose(other)
+        return float(np.linalg.norm(delta.translation)), rotation_angle(delta.rotation)
+
+    def is_valid(self, tolerance: float = 1e-6) -> bool:
+        """Check that the rotation part is orthonormal with determinant +1."""
+        should_be_identity = self.rotation @ self.rotation.T
+        orthonormal = bool(np.allclose(should_be_identity, np.eye(3), atol=tolerance))
+        return orthonormal and abs(float(np.linalg.det(self.rotation)) - 1.0) < tolerance

@@ -1,0 +1,89 @@
+"""Bit-line aggregation: leakage summation and noise integration.
+
+When write word lines are deactivated, every write port on a column leaks
+into the bit line.  Summing many ports *filters* the (static, per-device)
+V_T mismatch -- the relative spread of the total falls as 1/sqrt(M) -- and
+*accumulates* the (temporal) shot noise of every port.  These are the two
+effects the SRAM-immersed RNG exploits (paper Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.technology import ELECTRON_CHARGE, TechnologyNode
+from repro.circuits.variability import MismatchSampler
+
+
+@dataclass
+class BitLineModel:
+    """Aggregated leakage/noise behaviour of one SRAM column group.
+
+    Attributes:
+        node: technology node.
+        n_ports: number of write ports hanging on the line.
+        nominal_leakage: per-port nominal leakage current (A).
+        static_leakages: per-port leakage currents with frozen mismatch (A).
+        capacitance: bit-line capacitance (F).
+    """
+
+    node: TechnologyNode
+    n_ports: int
+    nominal_leakage: float
+    static_leakages: np.ndarray
+    capacitance: float = 20.0e-15
+
+    @staticmethod
+    def sample(
+        node: TechnologyNode,
+        n_ports: int,
+        rng: np.random.Generator,
+        nominal_leakage: float = 1.0e-10,
+        mismatch: MismatchSampler | None = None,
+        capacitance: float = 20.0e-15,
+    ) -> "BitLineModel":
+        """Draw a bit line with per-port lognormal leakage mismatch."""
+        if n_ports < 1:
+            raise ValueError("n_ports must be >= 1")
+        mismatch = mismatch or MismatchSampler(node)
+        leakages = mismatch.subthreshold_leakage(
+            (n_ports,), rng, nominal_current=nominal_leakage
+        )
+        return BitLineModel(
+            node=node,
+            n_ports=n_ports,
+            nominal_leakage=float(nominal_leakage),
+            static_leakages=leakages,
+            capacitance=float(capacitance),
+        )
+
+    def total_leakage(self) -> float:
+        """Static total leakage current (A)."""
+        return float(self.static_leakages.sum())
+
+    def relative_mismatch(self) -> float:
+        """|total - expected| / expected: shrinks as 1/sqrt(M)."""
+        expected = self.n_ports * self.nominal_leakage
+        return abs(self.total_leakage() - expected) / expected
+
+    def integrated_charge(
+        self, window_s: float, rng: np.random.Generator
+    ) -> float:
+        """Charge (C) drained in ``window_s``, with integrated shot noise.
+
+        Shot-noise charge variance over a window T is ``2 q I T`` summed
+        over ports (independent sources add in variance).
+        """
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        mean = self.total_leakage() * window_s
+        sigma = np.sqrt(
+            2.0 * ELECTRON_CHARGE * self.total_leakage() * window_s
+        )
+        return float(mean + rng.normal() * sigma)
+
+    def discharge_voltage(self, window_s: float, rng: np.random.Generator) -> float:
+        """Bit-line voltage droop (V) over a discharge window."""
+        return self.integrated_charge(window_s, rng) / self.capacitance

@@ -1,0 +1,72 @@
+"""The 8T SRAM bit cell with separate storage and product ports.
+
+A 6T latch holds the bit; two extra transistors form a decoupled product
+port (paper Fig. 3a inset): when the read/compute line is asserted and the
+stored bit is 1, the port sinks a unit current into the column line.  The
+cell-level model exists for unit physics and the RNG leakage path; the
+macro evaluates whole arrays vectorised without instantiating cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.technology import TechnologyNode
+
+
+class EightTransistorCell:
+    """One 8T SRAM cell.
+
+    Args:
+        node: technology node.
+        unit_current: product-port ON current (A).
+        leakage_nominal: product-port OFF (leakage) current (A).
+        vt_offset: threshold mismatch of the port device (V), shifting the
+            leakage exponentially.
+    """
+
+    def __init__(
+        self,
+        node: TechnologyNode,
+        unit_current: float = 5.0e-6,
+        leakage_nominal: float = 1.0e-10,
+        vt_offset: float = 0.0,
+    ):
+        if unit_current <= 0 or leakage_nominal <= 0:
+            raise ValueError("currents must be positive")
+        self.node = node
+        self.unit_current = float(unit_current)
+        self.vt_offset = float(vt_offset)
+        n_ut = node.subthreshold_slope_factor * node.thermal_voltage
+        self.leakage = float(leakage_nominal * np.exp(-vt_offset / n_ut))
+        self._bit = 0
+
+    @property
+    def bit(self) -> int:
+        return self._bit
+
+    def write(self, bit: int) -> None:
+        """Write a bit through the storage port."""
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._bit = int(bit)
+
+    def product_current(self, input_bit: int, row_active: bool = True) -> float:
+        """Column current contribution for one compute cycle (A).
+
+        The product port implements ``stored AND input AND row_active``:
+        a conducting cell sinks ``unit_current``; all other combinations
+        leak ``leakage``.
+        """
+        if input_bit not in (0, 1):
+            raise ValueError("input_bit must be 0 or 1")
+        if self._bit and input_bit and row_active:
+            return self.unit_current
+        return self.leakage
+
+    def write_port_leakage(self) -> float:
+        """Leakage injected into the bit line when write word lines are off.
+
+        This is the entropy-source current the RNG harvests.
+        """
+        return self.leakage

@@ -1,0 +1,249 @@
+"""The SRAM CIM macro: quantised matrix-vector products on bit lines.
+
+Behavioural model of the paper's Fig. 3a macro.  Weights are stored as
+signed fixed-point codes; an input vector is applied through the column
+peripherals (optionally ANDed with an input-dropout bitstream) and each
+output row's product accumulates on its bit line, quantised by a per-column
+ADC with analog noise.  Output-dropout masks gate row activations, skipping
+their evaluation (and energy) entirely.
+
+A delta port (:meth:`matvec_delta`) supports the compute-reuse schedule:
+given the previous accumulated products and the input *change* vector, only
+the changed columns are driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.energy import EnergyLedger
+from repro.circuits.technology import NODE_16NM, TechnologyNode
+from repro.nn.quantization import QuantizationSpec, dequantize, quantize
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """Macro configuration.
+
+    Attributes:
+        node: technology node (paper: 16 nm, 0.85 V, 1 GHz).
+        weight_bits: stored weight precision (paper: 4 or 6).
+        input_bits: input DAC precision.
+        adc_bits: column ADC precision.
+        adc_noise_lsb: 1-sigma analog noise referred to the ADC input, in
+            LSBs of the ADC step.
+        adc_clip_sigma: ADC full scale as a multiple of the partial-sum
+            standard deviation (calibrated per layer at mapping time).
+        mac_energy_j: analog MAC energy keyed by weight precision.
+    """
+
+    node: TechnologyNode = NODE_16NM
+    weight_bits: int = 4
+    input_bits: int = 6
+    adc_bits: int = 6
+    adc_noise_lsb: float = 0.3
+    adc_clip_sigma: float = 6.0
+    mac_energy_j: dict[int, float] = field(
+        default_factory=lambda: {4: 1.6e-15, 6: 2.6e-15, 8: 4.5e-15}
+    )
+
+    def mac_energy(self) -> float:
+        if self.weight_bits in self.mac_energy_j:
+            return self.mac_energy_j[self.weight_bits]
+        nearest = min(self.mac_energy_j, key=lambda b: abs(b - self.weight_bits))
+        return self.mac_energy_j[nearest] * (self.weight_bits / nearest)
+
+
+class SRAMCIMMacro:
+    """One macro storing a weight matrix.
+
+    Args:
+        weight: (in_features, out_features) float weight matrix.
+        config: macro configuration.
+        rng: generator for frozen per-column gain mismatch.
+        calibration_inputs: optional sample inputs used to size the ADC
+            full scale; defaults to unit-variance assumptions.
+        gain_mismatch_sigma: per-column multiplicative gain spread.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        config: MacroConfig | None = None,
+        rng: np.random.Generator | None = None,
+        calibration_inputs: np.ndarray | None = None,
+        gain_mismatch_sigma: float = 0.01,
+    ):
+        weight = np.asarray(weight, dtype=float)
+        if weight.ndim != 2:
+            raise ValueError("weight must be (in, out)")
+        self.config = config or MacroConfig()
+        rng = rng or np.random.default_rng(0)
+        self.in_features, self.out_features = weight.shape
+        self.weight_spec = QuantizationSpec.for_tensor(weight, self.config.weight_bits)
+        self.weight_codes = quantize(weight, self.weight_spec)
+        self.stored_weight = dequantize(self.weight_codes, self.weight_spec)
+        if gain_mismatch_sigma > 0:
+            self.column_gain = rng.lognormal(
+                mean=-0.5 * gain_mismatch_sigma**2,
+                sigma=gain_mismatch_sigma,
+                size=self.out_features,
+            )
+        else:
+            self.column_gain = np.ones(self.out_features)
+        self.ledger = EnergyLedger(
+            label=f"sram-macro[{self.in_features}x{self.out_features}w{self.config.weight_bits}]"
+        )
+        # ADC full-scale calibration against the layer's product statistics.
+        if calibration_inputs is not None:
+            self.recalibrate(calibration_inputs)
+        else:
+            scale = (
+                float(np.sqrt(self.in_features) * np.abs(self.stored_weight).std())
+                or 1.0
+            )
+            self._set_adc_scale(scale)
+
+    def _set_adc_scale(self, scale: float) -> None:
+        self.adc_full_scale = self.config.adc_clip_sigma * scale
+        self.adc_step = self.adc_full_scale / (2 ** (self.config.adc_bits - 1) - 1)
+
+    def recalibrate(self, calibration_inputs: np.ndarray) -> None:
+        """Re-size the column ADC range from representative activations.
+
+        Standard macro bring-up practice: run sample inputs, set the ADC
+        full scale so the observed partial-sum distribution fills the code
+        range without systematic clipping.
+        """
+        sample = np.atleast_2d(np.asarray(calibration_inputs, dtype=float))
+        products = sample @ self.stored_weight
+        self._set_adc_scale(float(products.std()) or 1.0)
+
+    def _read_columns(
+        self,
+        analog: np.ndarray,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Apply gain mismatch, analog noise and ADC quantisation."""
+        values = analog * self.column_gain
+        if self.config.adc_noise_lsb > 0:
+            if rng is None:
+                raise ValueError("rng required for noisy macro reads")
+            values = values + rng.normal(size=values.shape) * (
+                self.config.adc_noise_lsb * self.adc_step
+            )
+        clipped = np.clip(values, -self.adc_full_scale, self.adc_full_scale)
+        return np.rint(clipped / self.adc_step) * self.adc_step
+
+    def matvec(
+        self,
+        x: np.ndarray,
+        input_mask: np.ndarray | None = None,
+        output_mask: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Full macro evaluation: (B, in) -> (B, out).
+
+        Args:
+            x: input activations.
+            input_mask: (in,) keep-mask ANDed onto the inputs (CL dropout).
+            output_mask: (out,) keep-mask gating row evaluation (RL
+                dropout); masked outputs read 0 and cost nothing.
+            rng: generator for analog noise.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != self.in_features:
+            raise ValueError(f"expected {self.in_features} inputs, got {x.shape[1]}")
+        if input_mask is not None:
+            x = x * np.asarray(input_mask, dtype=float)[None, :]
+        x_q = self._quantize_inputs(x)
+        analog = x_q @ self.stored_weight
+        out = self._read_columns(analog, rng)
+        active_in = (
+            int(np.count_nonzero(input_mask))
+            if input_mask is not None
+            else self.in_features
+        )
+        active_out = (
+            int(np.count_nonzero(output_mask))
+            if output_mask is not None
+            else self.out_features
+        )
+        if output_mask is not None:
+            out = out * np.asarray(output_mask, dtype=float)[None, :]
+        self._account(x.shape[0], active_in, active_out)
+        return out
+
+    def matvec_delta(
+        self,
+        previous: np.ndarray,
+        delta_x: np.ndarray,
+        changed: np.ndarray,
+        output_mask: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Compute-reuse read: update products through changed columns only.
+
+        Args:
+            previous: (B, out) previously accumulated products.
+            delta_x: (B, in) input change; only entries where ``changed``
+                is True are driven.
+            changed: (in,) boolean mask of driven input lines.
+            output_mask: (out,) keep-mask gating row evaluation.
+            rng: generator for analog noise.
+
+        Returns:
+            (B, out) updated products.
+        """
+        previous = np.atleast_2d(np.asarray(previous, dtype=float))
+        delta_x = np.atleast_2d(np.asarray(delta_x, dtype=float))
+        changed = np.asarray(changed, dtype=bool).reshape(-1)
+        if changed.size != self.in_features:
+            raise ValueError("changed mask width mismatch")
+        n_changed = int(changed.sum())
+        active_out = (
+            int(np.count_nonzero(output_mask))
+            if output_mask is not None
+            else self.out_features
+        )
+        if n_changed == 0:
+            self._account(previous.shape[0], 0, active_out, adc_reads=0)
+            return previous.copy()
+        delta_q = self._quantize_inputs(delta_x[:, changed])
+        analog = delta_q @ self.stored_weight[changed]
+        delta_read = self._read_columns(analog, rng)
+        out = previous + delta_read
+        if output_mask is not None:
+            out = out * np.asarray(output_mask, dtype=float)[None, :]
+        self._account(previous.shape[0], n_changed, active_out)
+        return out
+
+    def _quantize_inputs(self, x: np.ndarray) -> np.ndarray:
+        spec = QuantizationSpec.for_tensor(x, self.config.input_bits)
+        return dequantize(quantize(x, spec), spec)
+
+    def _account(
+        self, batch: int, active_in: int, active_out: int, adc_reads: int | None = None
+    ) -> None:
+        macs = batch * active_in * active_out
+        self.ledger.add("cim_mac", macs, self.config.mac_energy())
+        reads = batch * active_out if adc_reads is None else adc_reads
+        self.ledger.add(
+            "column_adc", reads, self.config.node.adc_energy(self.config.adc_bits)
+        )
+        self.ledger.add(
+            "input_dac", batch * active_in, self.config.node.dac_energy_j
+        )
+
+    def ideal_matvec(self, x: np.ndarray) -> np.ndarray:
+        """Noise-free, unquantised-input product with stored weights."""
+        return np.atleast_2d(np.asarray(x, dtype=float)) @ self.stored_weight
+
+    def ops_count(self) -> int:
+        """Total MACs executed so far."""
+        return self.ledger.count("cim_mac")
+
+    def total_energy_j(self) -> float:
+        return self.ledger.total_energy_j()

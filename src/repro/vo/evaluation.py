@@ -1,0 +1,57 @@
+"""Trajectory accuracy metrics: ATE and RPE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scene.se3 import Pose, rotation_angle
+
+
+def ate_rmse(estimated: list[Pose], ground_truth: list[Pose]) -> float:
+    """Absolute trajectory error: RMSE of position differences (m).
+
+    Trajectories are compared in the shared world frame (both start at the
+    same pose in our experiments, so no alignment step is applied).
+    """
+    if len(estimated) != len(ground_truth):
+        raise ValueError("trajectory length mismatch")
+    diffs = np.stack(
+        [e.translation - g.translation for e, g in zip(estimated, ground_truth)],
+        axis=0,
+    )
+    return float(np.sqrt(np.mean(np.sum(diffs**2, axis=1))))
+
+
+def relative_pose_errors(
+    estimated: list[Pose], ground_truth: list[Pose]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-step relative pose errors.
+
+    Returns:
+        (translation_errors, rotation_errors): (T-1,) arrays in meters and
+        radians.
+    """
+    if len(estimated) != len(ground_truth):
+        raise ValueError("trajectory length mismatch")
+    t_errors, r_errors = [], []
+    for k in range(1, len(estimated)):
+        est_rel = estimated[k].relative_to(estimated[k - 1])
+        gt_rel = ground_truth[k].relative_to(ground_truth[k - 1])
+        delta = gt_rel.inverse().compose(est_rel)
+        t_errors.append(np.linalg.norm(delta.translation))
+        r_errors.append(rotation_angle(delta.rotation))
+    return np.asarray(t_errors), np.asarray(r_errors)
+
+
+def trajectory_report(estimated: list[Pose], ground_truth: list[Pose]) -> dict[str, float]:
+    """Summary metrics for a trajectory comparison."""
+    t_err, r_err = relative_pose_errors(estimated, ground_truth)
+    return {
+        "ate_rmse_m": ate_rmse(estimated, ground_truth),
+        "rpe_trans_mean_m": float(t_err.mean()),
+        "rpe_trans_p95_m": float(np.percentile(t_err, 95)),
+        "rpe_rot_mean_rad": float(r_err.mean()),
+        "final_position_error_m": float(
+            np.linalg.norm(estimated[-1].translation - ground_truth[-1].translation)
+        ),
+    }

@@ -1,0 +1,33 @@
+"""Trajectory integration from predicted frame-to-frame increments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scene.se3 import Pose
+from repro.vo.features import TargetScaler, target_to_pose
+
+
+def increments_from_predictions(
+    scaled_predictions: np.ndarray, scaler: TargetScaler
+) -> list[Pose]:
+    """Decode (N, 6) scaled network outputs into relative poses."""
+    scaled_predictions = np.atleast_2d(np.asarray(scaled_predictions, dtype=float))
+    raw = scaler.inverse(scaled_predictions)
+    return [target_to_pose(row) for row in raw]
+
+
+def integrate_increments(start: Pose, increments: list[Pose]) -> list[Pose]:
+    """Chain relative poses into an absolute trajectory.
+
+    Returns ``len(increments) + 1`` poses starting at ``start``; rotations
+    are re-orthonormalised periodically to stop drift compounding on top of
+    prediction error.
+    """
+    poses = [start]
+    for index, increment in enumerate(increments):
+        pose = poses[-1].compose(increment)
+        if (index + 1) % 10 == 0:
+            pose = pose.orthonormalized()
+        poses.append(pose)
+    return poses

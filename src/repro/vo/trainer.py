@@ -1,0 +1,154 @@
+"""VO dataset assembly and training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import MSELoss
+from repro.nn.optim import Adam
+from repro.nn.sequential import Sequential
+from repro.scene.dataset import SyntheticRGBDScenes
+from repro.vo.features import FrameEncoder, TargetScaler, pose_to_target
+
+
+@dataclass
+class VODataset:
+    """Encoded frame-pair features and scaled 6-DoF targets.
+
+    Attributes:
+        features: (N, F) *standardised* inputs.
+        targets: (N, 6) *scaled* targets.
+        scaler: the target scaler (needed to decode predictions).
+        feature_scaler: the input standardiser (apply to new frames).
+        encoder: the frame encoder used.
+        frame_pairs_per_scene: bookkeeping for sequence reconstruction.
+    """
+
+    features: np.ndarray
+    targets: np.ndarray
+    scaler: TargetScaler
+    feature_scaler: TargetScaler
+    encoder: FrameEncoder
+    frame_pairs_per_scene: list[int] = field(default_factory=list)
+
+    @staticmethod
+    def from_scenes(
+        dataset: SyntheticRGBDScenes,
+        scene_indices: list[int],
+        encoder: FrameEncoder | None = None,
+        scaler: TargetScaler | None = None,
+        feature_scaler: TargetScaler | None = None,
+    ) -> "VODataset":
+        """Build a dataset from rendered scene sequences.
+
+        Args:
+            dataset: the synthetic RGB-D dataset.
+            scene_indices: scenes to include.
+            encoder: frame encoder (default 9x12 depth grid).
+            scaler: reuse an existing target scaler (e.g. the training
+                scaler for a held-out set); fitted fresh when omitted.
+            feature_scaler: reuse an existing feature standardiser.
+        """
+        encoder = encoder or FrameEncoder()
+        features = []
+        raw_targets = []
+        pairs_per_scene = []
+        for scene_index in scene_indices:
+            pairs = dataset.frame_pairs(scene_index)
+            pairs_per_scene.append(len(pairs))
+            for previous, current, relative in pairs:
+                features.append(encoder.encode_pair(previous.depth, current.depth))
+                raw_targets.append(pose_to_target(relative))
+        features = np.stack(features, axis=0)
+        raw_targets = np.stack(raw_targets, axis=0)
+        if scaler is None:
+            scaler = TargetScaler.fit(raw_targets)
+        if feature_scaler is None:
+            # Clip at 6 sigma: bounds out-of-distribution (e.g. occluded)
+            # frames to a range a fixed-point front end can represent.
+            feature_scaler = TargetScaler.fit(features, clip=6.0)
+        return VODataset(
+            features=feature_scaler.transform(features),
+            targets=scaler.transform(raw_targets),
+            scaler=scaler,
+            feature_scaler=feature_scaler,
+            encoder=encoder,
+            frame_pairs_per_scene=pairs_per_scene,
+        )
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training/validation losses."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+
+
+class VOTrainer:
+    """Minibatch Adam training of a VO network.
+
+    Args:
+        model: the network (from :func:`~repro.vo.model.build_vo_mlp`).
+        lr: Adam learning rate.
+        batch_size: minibatch size.
+        weight_decay: L2 regularisation.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        lr: float = 1.0e-3,
+        batch_size: int = 32,
+        weight_decay: float = 1.0e-5,
+    ):
+        self.model = model
+        self.optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+        self.batch_size = int(batch_size)
+        self.loss_fn = MSELoss()
+
+    def fit(
+        self,
+        train: VODataset,
+        epochs: int,
+        rng: np.random.Generator,
+        validation: VODataset | None = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over the data."""
+        history = TrainingHistory()
+        n = len(train)
+        for epoch in range(epochs):
+            self.model.train()
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                x, y = train.features[batch], train.targets[batch]
+                predictions = self.model.forward(x)
+                loss, grad = self.loss_fn(predictions, y)
+                self.optimizer.zero_grad()
+                self.model.backward(grad)
+                self.optimizer.step()
+                epoch_loss += loss
+                n_batches += 1
+            history.train_loss.append(epoch_loss / max(n_batches, 1))
+            if validation is not None:
+                history.val_loss.append(self.evaluate(validation))
+            if verbose:
+                val = f" val={history.val_loss[-1]:.4f}" if validation else ""
+                print(f"epoch {epoch + 1}/{epochs} train={history.train_loss[-1]:.4f}{val}")
+        return history
+
+    def evaluate(self, dataset: VODataset) -> float:
+        """Mean validation loss with dropout off."""
+        self.model.eval()
+        predictions = self.model.forward(dataset.features)
+        loss, _ = self.loss_fn(predictions, dataset.targets)
+        return loss

@@ -1,0 +1,14 @@
+"""Shared fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def session_rng():
+    return np.random.default_rng(999)

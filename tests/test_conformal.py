@@ -1,0 +1,129 @@
+"""Tests for repro.bayesian.conformal (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bayesian.conformal import (
+    AdaptiveConformalInference,
+    SplitConformalRegressor,
+    conformal_quantile,
+)
+
+
+def _linear_world(rng, n=400, noise=0.2):
+    x = rng.uniform(-2, 2, size=(n, 3))
+    w = np.array([[1.0, -0.5], [0.3, 1.2], [-0.7, 0.4]])
+    y = x @ w + rng.normal(scale=noise, size=(n, 2))
+    predict = lambda q: np.atleast_2d(q) @ w
+    return x, y, predict
+
+
+class TestConformalQuantile:
+    def test_known_quantile(self):
+        scores = np.arange(1.0, 100.0)  # 99 scores
+        # ceil(100 * 0.9) = 90 -> the 90th order statistic.
+        assert conformal_quantile(scores, alpha=0.1) == 90.0
+
+    def test_small_sample_infinite(self):
+        assert conformal_quantile(np.array([1.0]), alpha=0.1) == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conformal_quantile(np.array([]), 0.1)
+        with pytest.raises(ValueError):
+            conformal_quantile(np.array([1.0]), 1.5)
+
+    @given(st.integers(20, 200), st.floats(0.05, 0.4))
+    @settings(max_examples=25)
+    def test_quantile_bounds_scores(self, n, alpha):
+        rng = np.random.default_rng(n)
+        scores = rng.exponential(size=n)
+        q = conformal_quantile(scores, alpha)
+        # at least (1 - alpha) of calibration scores are below q
+        assert np.mean(scores <= q) >= 1.0 - alpha - 1e-9
+
+
+class TestSplitConformal:
+    def test_marginal_coverage(self, rng):
+        x, y, predict = _linear_world(rng, n=800)
+        regressor = SplitConformalRegressor(predict, alpha=0.1)
+        regressor.calibrate(x[:400], y[:400])
+        coverage = regressor.coverage(x[400:], y[400:])
+        assert coverage == pytest.approx(0.9, abs=0.05)
+
+    def test_alpha_controls_width(self, rng):
+        x, y, predict = _linear_world(rng)
+        widths = {}
+        for alpha in (0.05, 0.3):
+            regressor = SplitConformalRegressor(predict, alpha=alpha)
+            regressor.calibrate(x[:200], y[:200])
+            widths[alpha] = regressor.mean_interval_width(x[200:])
+        assert widths[0.05] > widths[0.3]
+
+    def test_difficulty_scaling_adapts_width(self, rng):
+        x, y, predict = _linear_world(rng)
+        difficulty = lambda q: 1.0 + np.abs(np.atleast_2d(q)[:, :1]) @ np.ones((1, 2))
+        regressor = SplitConformalRegressor(predict, alpha=0.1, difficulty=difficulty)
+        regressor.calibrate(x[:200], y[:200])
+        easy = np.zeros((1, 3))
+        hard = np.array([[2.0, 0.0, 0.0]])
+        _, lo_e, hi_e = regressor.intervals(easy)
+        _, lo_h, hi_h = regressor.intervals(hard)
+        assert (hi_h - lo_h).mean() > (hi_e - lo_e).mean()
+
+    def test_requires_calibration(self, rng):
+        _, _, predict = _linear_world(rng)
+        regressor = SplitConformalRegressor(predict)
+        with pytest.raises(RuntimeError):
+            regressor.intervals(np.zeros((1, 3)))
+
+    def test_perfect_predictor_zero_width(self, rng):
+        x, y, predict = _linear_world(rng, noise=0.0)
+        regressor = SplitConformalRegressor(predict, alpha=0.1)
+        regressor.calibrate(x[:100], y[:100])
+        assert regressor.mean_interval_width(x[100:]) < 1e-9
+
+
+class TestAdaptiveConformal:
+    def test_tracks_coverage_under_shift(self, rng):
+        x, y, predict = _linear_world(rng, n=600)
+        aci = AdaptiveConformalInference.from_calibration(
+            predict, x[:200], y[:200], alpha=0.1, gamma=0.05
+        )
+        # Distribution shift: noisier targets for the stream.
+        stream_x = rng.uniform(-2, 2, size=(300, 3))
+        w = np.array([[1.0, -0.5], [0.3, 1.2], [-0.7, 0.4]])
+        stream_y = stream_x @ w + rng.normal(scale=0.6, size=(300, 2))
+        for k in range(300):
+            aci.step(stream_x[k], stream_y[k])
+        # Static conformal would under-cover badly (noise tripled);
+        # the adaptive quantile must recover near-target coverage over
+        # the stream tail.
+        tail = [record["covered"] for record in aci.history[150:]]
+        assert np.mean(tail) > 0.8
+
+    def test_alpha_decreases_when_missing(self, rng):
+        x, y, predict = _linear_world(rng)
+        aci = AdaptiveConformalInference.from_calibration(
+            predict, x[:200], y[:200], alpha=0.1, gamma=0.1
+        )
+        # Feed absurd targets: every interval misses -> alpha_t must fall
+        # (wider intervals).
+        for k in range(10):
+            aci.step(x[200 + k], y[200 + k] + 100.0)
+        assert aci.alpha_t < 0.1
+
+    def test_realised_coverage_requires_steps(self, rng):
+        x, y, predict = _linear_world(rng)
+        aci = AdaptiveConformalInference.from_calibration(predict, x[:50], y[:50])
+        with pytest.raises(RuntimeError):
+            aci.realised_coverage()
+
+    def test_gamma_validation(self, rng):
+        x, y, predict = _linear_world(rng)
+        regressor = SplitConformalRegressor(predict)
+        regressor.calibrate(x[:50], y[:50])
+        with pytest.raises(ValueError):
+            AdaptiveConformalInference(regressor, np.ones((50, 2)), gamma=0.0)

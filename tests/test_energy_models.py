@@ -1,0 +1,134 @@
+"""Tests for repro.energy: analytic models validated against metered ledgers."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.technology import NODE_16NM, NODE_45NM
+from repro.energy import (
+    EnergyComparison,
+    cim_likelihood_energy,
+    cim_mc_dropout_energy,
+    comparison_table,
+    digital_gmm_energy,
+    digital_nn_energy,
+)
+from repro.energy.report import format_energy
+
+
+class TestDigitalGMMModel:
+    def test_matches_metered_backend(self, rng):
+        from repro.filtering.measurement import DigitalGMMBackend
+        from repro.maps.gmm import GaussianMixture
+
+        gmm = GaussianMixture(
+            np.ones(10) / 10, rng.normal(size=(10, 3)), np.full((10, 3), 0.5)
+        )
+        backend = DigitalGMMBackend(gmm, NODE_45NM, bits=8)
+        backend.field_log(rng.normal(size=(25, 3)))
+        metered = backend.ledger.total_energy_j()
+        analytic = digital_gmm_energy(NODE_45NM, n_components=10, bits=8, n_queries=25)
+        assert analytic == pytest.approx(metered, rel=1e-9)
+
+    def test_scales_linearly(self):
+        one = digital_gmm_energy(NODE_45NM, 50, n_queries=1)
+        many = digital_gmm_energy(NODE_45NM, 50, n_queries=17)
+        assert many == pytest.approx(17 * one)
+
+    def test_higher_precision_costs_more(self):
+        assert digital_gmm_energy(NODE_45NM, 50, bits=16) > digital_gmm_energy(
+            NODE_45NM, 50, bits=8
+        )
+
+
+class TestCIMLikelihoodModel:
+    def test_component_sum(self):
+        energy = cim_likelihood_energy(
+            NODE_45NM, adc_bits=4, n_axes=3, mean_array_current_a=1e-5
+        )
+        expected = (
+            3 * NODE_45NM.dac_energy_j
+            + NODE_45NM.adc_energy(4)
+            + 1e-5 * NODE_45NM.vdd * 1e-8
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_matches_paper_band(self):
+        energy = cim_likelihood_energy(NODE_45NM)
+        assert 2e-13 < energy < 6e-13  # a few hundred fJ
+
+    def test_beats_digital_by_paper_factor(self):
+        digital = digital_gmm_energy(NODE_45NM, n_components=100, bits=8)
+        cim = cim_likelihood_energy(NODE_45NM)
+        assert 10 < digital / cim < 60
+
+
+class TestNNModels:
+    def test_digital_nn_counts_weights(self):
+        energy = digital_nn_energy(NODE_16NM, (10, 20, 5), bits=8)
+        macs = 10 * 20 + 20 * 5
+        expected = macs * (
+            NODE_16NM.mac_energy(8) + 8 * NODE_16NM.sram_read_energy_per_bit_j
+        )
+        assert energy == pytest.approx(expected)
+
+    def test_cim_mc_reuse_cheaper(self):
+        from repro.sram.macro import MacroConfig
+
+        config = MacroConfig(weight_bits=4)
+        sizes = (324, 128, 64, 6)
+        with_reuse = cim_mc_dropout_energy(config, sizes, reuse=True)
+        without = cim_mc_dropout_energy(config, sizes, reuse=False)
+        assert with_reuse < 0.5 * without
+
+    def test_cim_mc_tracks_engine_within_factor(self, rng):
+        """The expectation model should land within ~2x of a metered run."""
+        from repro.core.cim_mc_dropout import CIMMCDropoutEngine
+        from repro.nn import Dense, Dropout, ReLU, Sequential
+        from repro.sram.macro import MacroConfig
+
+        model = Sequential(
+            [
+                Dense(32, 48, rng),
+                ReLU(),
+                Dropout(0.5, rng=rng),
+                Dense(48, 8, rng),
+            ]
+        )
+        config = MacroConfig(weight_bits=4)
+        engine = CIMMCDropoutEngine(
+            model, config, n_iterations=30, use_hardware_rng=False,
+            rng=np.random.default_rng(0),
+        )
+        result = engine.predict(rng.normal(size=(1, 32)))
+        metered = result.energy.total_energy_j()
+        analytic = cim_mc_dropout_energy(config, (32, 48, 8), n_iterations=30)
+        assert 0.4 < analytic / metered < 2.5
+
+    def test_validation(self):
+        from repro.sram.macro import MacroConfig
+
+        with pytest.raises(ValueError):
+            digital_nn_energy(NODE_16NM, (10,))
+        with pytest.raises(ValueError):
+            cim_mc_dropout_energy(MacroConfig(), (10, 5), keep_probability=0.0)
+
+
+class TestReport:
+    def test_ratio(self):
+        comparison = EnergyComparison("a vs b", baseline_j=1e-11, proposed_j=4e-13)
+        assert comparison.ratio == pytest.approx(25.0)
+
+    def test_table_contains_rows(self):
+        table = comparison_table(
+            [
+                EnergyComparison("likelihood", 1e-11, 4e-13),
+                EnergyComparison("inference", 3e-9, 1e-9),
+            ]
+        )
+        assert "likelihood" in table and "inference" in table
+
+    def test_empty_table(self):
+        assert "no comparisons" in comparison_table([])
+
+    def test_format_energy_roundtrip_units(self):
+        assert format_energy(374e-15).endswith("fJ")

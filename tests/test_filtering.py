@@ -1,0 +1,326 @@
+"""Tests for repro.filtering: particles, resampling, motion, PF, EKF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filtering import (
+    DepthScanMeasurementModel,
+    DigitalGMMBackend,
+    ExtendedKalmanFilter,
+    OdometryMotionModel,
+    ParticleFilter,
+    ParticleSet,
+    RandomWalkMotionModel,
+    effective_sample_size,
+    multinomial_resample,
+    residual_resample,
+    stratified_resample,
+    systematic_resample,
+)
+from repro.circuits.technology import NODE_45NM
+from repro.filtering.motion import wrap_angle
+from repro.maps.gmm import GaussianMixture
+
+
+class TestParticleSet:
+    def test_uniform_within_bounds(self, rng):
+        particles = ParticleSet.uniform([0, 0, 0, -1], [1, 2, 3, 1], 100, rng)
+        assert particles.states.shape == (100, 4)
+        assert particles.states.min() >= -1
+        assert np.all(particles.states[:, 2] <= 3)
+
+    def test_default_weights_uniform(self, rng):
+        particles = ParticleSet.uniform([0], [1], 10, rng)
+        assert np.allclose(particles.normalized_weights(), 0.1)
+
+    def test_ess_uniform_equals_n(self, rng):
+        particles = ParticleSet.uniform([0], [1], 50, rng)
+        assert particles.effective_sample_size() == pytest.approx(50.0)
+
+    def test_ess_degenerate_equals_one(self, rng):
+        particles = ParticleSet.uniform([0], [1], 50, rng)
+        lw = np.full(50, -1e9)
+        lw[3] = 0.0
+        particles = ParticleSet(particles.states, lw)
+        assert particles.effective_sample_size() == pytest.approx(1.0)
+
+    def test_mean_estimate_circular_yaw(self):
+        states = np.array(
+            [[0, 0, 0, np.pi - 0.1], [0, 0, 0, -np.pi + 0.1]]
+        )
+        particles = ParticleSet(states)
+        yaw = particles.mean_estimate()[3]
+        assert abs(abs(yaw) - np.pi) < 0.05
+
+    def test_map_estimate_picks_heaviest(self, rng):
+        particles = ParticleSet.uniform([0, 0, 0, 0], [1, 1, 1, 1], 20, rng)
+        lw = np.zeros(20)
+        lw[7] = 5.0
+        particles = ParticleSet(particles.states, lw)
+        assert np.allclose(particles.map_estimate(), particles.states[7])
+
+    def test_reweight_shifts_weights(self, rng):
+        particles = ParticleSet.uniform([0], [1], 10, rng)
+        delta = np.zeros(10)
+        delta[0] = 10.0
+        updated = particles.reweighted(delta)
+        assert updated.normalized_weights()[0] > 0.99
+
+    def test_resampled_uniform_weights(self, rng):
+        particles = ParticleSet.uniform([0], [1], 10, rng)
+        resampled = particles.resampled(np.zeros(10, dtype=int))
+        assert np.allclose(resampled.states, particles.states[0])
+        assert np.allclose(resampled.normalized_weights(), 0.1)
+
+    def test_position_spread_positive(self, rng):
+        particles = ParticleSet.uniform([0, 0, 0, 0], [1, 1, 1, 1], 100, rng)
+        assert particles.position_spread() > 0.1
+
+
+RESAMPLERS = [
+    systematic_resample,
+    multinomial_resample,
+    stratified_resample,
+    residual_resample,
+]
+
+
+class TestResampling:
+    @pytest.mark.parametrize("resampler", RESAMPLERS)
+    def test_output_size_and_range(self, resampler, rng):
+        weights = rng.uniform(size=30)
+        indices = resampler(weights / weights.sum(), rng)
+        assert indices.shape == (30,)
+        assert indices.min() >= 0 and indices.max() < 30
+
+    @pytest.mark.parametrize("resampler", RESAMPLERS)
+    def test_heavy_weight_dominates(self, resampler, rng):
+        weights = np.full(20, 1e-9)
+        weights[5] = 1.0
+        indices = resampler(weights / weights.sum(), rng)
+        assert np.mean(indices == 5) > 0.9
+
+    @pytest.mark.parametrize("resampler", RESAMPLERS)
+    def test_unbiasedness(self, resampler):
+        rng = np.random.default_rng(0)
+        weights = np.array([0.5, 0.3, 0.2])
+        counts = np.zeros(3)
+        for _ in range(400):
+            indices = resampler(weights, rng, n_out=30)
+            counts += np.bincount(indices, minlength=3)
+        frequencies = counts / counts.sum()
+        assert np.allclose(frequencies, weights, atol=0.02)
+
+    def test_ess_function(self):
+        assert effective_sample_size(np.full(10, 0.1)) == pytest.approx(10.0)
+        weights = np.zeros(10)
+        weights[0] = 1.0
+        assert effective_sample_size(weights) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("resampler", RESAMPLERS)
+    def test_rejects_bad_weights(self, resampler, rng):
+        with pytest.raises(ValueError):
+            resampler(np.array([-0.1, 1.1]), rng)
+        with pytest.raises(ValueError):
+            resampler(np.zeros(5), rng)
+
+    @given(st.integers(2, 50))
+    @settings(max_examples=20)
+    def test_systematic_preserves_big_weights(self, n):
+        rng = np.random.default_rng(n)
+        weights = rng.uniform(size=n)
+        weights /= weights.sum()
+        indices = systematic_resample(weights, rng)
+        counts = np.bincount(indices, minlength=n)
+        # systematic resampling copies every weight at least floor(N*w).
+        assert np.all(counts >= np.floor(n * weights))
+
+
+class TestMotionModels:
+    def test_wrap_angle(self):
+        assert wrap_angle(np.pi + 0.1) == pytest.approx(-np.pi + 0.1)
+        assert wrap_angle(-np.pi - 0.1) == pytest.approx(np.pi - 0.1)
+
+    def test_odometry_moves_mean(self, rng):
+        particles = ParticleSet(np.tile([0.0, 0.0, 1.0, 0.0], (500, 1)))
+        model = OdometryMotionModel(translation_noise=0.01, yaw_noise=0.005)
+        moved = model.propagate(particles, np.array([1.0, 0.0, 0.1, 0.0]), rng)
+        mean = moved.states.mean(axis=0)
+        assert mean[0] == pytest.approx(1.0, abs=0.01)
+        assert mean[2] == pytest.approx(1.1, abs=0.01)
+
+    def test_odometry_heading_rotates_increment(self, rng):
+        particles = ParticleSet(np.tile([0.0, 0.0, 0.0, np.pi / 2], (500, 1)))
+        model = OdometryMotionModel(translation_noise=0.01)
+        moved = model.propagate(particles, np.array([1.0, 0.0, 0.0, 0.0]), rng)
+        mean = moved.states.mean(axis=0)
+        assert mean[1] == pytest.approx(1.0, abs=0.02)
+        assert abs(mean[0]) < 0.02
+
+    def test_noise_grows_with_motion(self, rng):
+        particles = ParticleSet(np.tile([0.0, 0.0, 0.0, 0.0], (2000, 1)))
+        model = OdometryMotionModel(translation_noise=0.01, proportional_noise=0.2)
+        small = model.propagate(particles, np.array([0.1, 0, 0, 0]), rng)
+        large = model.propagate(particles, np.array([2.0, 0, 0, 0]), rng)
+        assert large.states[:, 0].std() > small.states[:, 0].std()
+
+    def test_random_walk_diffuses(self, rng):
+        particles = ParticleSet(np.zeros((200, 4)))
+        model = RandomWalkMotionModel(translation_sigma=0.1)
+        moved = model.propagate(particles, np.zeros(4), rng)
+        assert moved.states[:, 0].std() == pytest.approx(0.1, rel=0.3)
+
+    def test_control_shape_validated(self, rng):
+        model = OdometryMotionModel()
+        with pytest.raises(ValueError):
+            model.propagate(ParticleSet(np.zeros((2, 4))), np.zeros(3), rng)
+
+
+def _simple_backend():
+    gmm = GaussianMixture(
+        [0.5, 0.5],
+        [[0, 0, 1], [2, 0, 1]],
+        [[0.3, 0.3, 0.3], [0.3, 0.3, 0.3]],
+    )
+    return DigitalGMMBackend(gmm, NODE_45NM, bits=None), gmm
+
+
+class TestMeasurementModel:
+    def test_requires_floor_calibration(self, rng):
+        backend, _ = _simple_backend()
+        model = DepthScanMeasurementModel(backend)
+        with pytest.raises(RuntimeError):
+            model.log_likelihoods(ParticleSet(np.zeros((1, 4))), np.zeros((3, 3)), rng)
+
+    def test_true_pose_scores_higher(self, rng):
+        backend, gmm = _simple_backend()
+        model = DepthScanMeasurementModel(backend, temperature=1.0, max_pixels=32)
+        model.calibrate_floor(gmm.sample(200, rng))
+        # scan points: surface points expressed in the frame of state A
+        scan_world = gmm.sample(30, rng)
+        state_true = np.array([0.0, 0.0, 0.0, 0.0])
+        scan_cam = scan_world  # camera at origin, identity yaw
+        states = np.array([state_true, [1.0, 1.0, 0.5, 0.4]])
+        ll = model.log_likelihoods(ParticleSet(states), scan_cam, rng)
+        assert ll[0] > ll[1]
+
+    def test_yaw_rotation_applied(self, rng):
+        backend, gmm = _simple_backend()
+        model = DepthScanMeasurementModel(backend, temperature=1.0)
+        model.calibrate_floor(gmm.sample(200, rng))
+        scan_cam = np.array([[2.0, 0.0, 1.0]])
+        # with yaw=pi the point lands at (-2, 0, 1): far from both modes
+        states = np.array([[0, 0, 0, 0.0], [0, 0, 0, np.pi]])
+        ll = model.log_likelihoods(ParticleSet(states), scan_cam, rng)
+        assert ll[0] > ll[1]
+
+    def test_subsampling_bounds_pixels(self, rng):
+        backend, gmm = _simple_backend()
+        model = DepthScanMeasurementModel(backend, max_pixels=8)
+        scan = rng.normal(size=(100, 3))
+        assert model.subsample_scan(scan, rng).shape == (8, 3)
+
+    def test_temperature_softens(self, rng):
+        backend, gmm = _simple_backend()
+        scan = gmm.sample(30, rng)
+        states = ParticleSet(np.array([[0, 0, 0, 0.0], [3, 3, 1, 1.0]]))
+        lls = {}
+        for temp in (1.0, 10.0):
+            model = DepthScanMeasurementModel(backend, temperature=temp)
+            model.calibrate_floor(gmm.sample(200, rng))
+            ll = model.log_likelihoods(states, scan, np.random.default_rng(0))
+            lls[temp] = ll[0] - ll[1]
+        assert lls[1.0] > lls[10.0]
+
+    def test_parameter_validation(self):
+        backend, _ = _simple_backend()
+        with pytest.raises(ValueError):
+            DepthScanMeasurementModel(backend, outlier_fraction=1.5)
+        with pytest.raises(ValueError):
+            DepthScanMeasurementModel(backend, temperature=0.0)
+
+
+class TestParticleFilter:
+    def test_tracks_static_target(self, rng):
+        backend, gmm = _simple_backend()
+        model = DepthScanMeasurementModel(backend, temperature=2.0)
+        model.calibrate_floor(gmm.sample(300, rng))
+        pf = ParticleFilter(RandomWalkMotionModel(0.02, 0.01), model)
+        pf.initialize(
+            ParticleSet.gaussian([0, 0, 0, 0], [0.4, 0.4, 0.2, 0.2], 300, rng)
+        )
+        scan = gmm.sample(40, rng)
+        for _ in range(5):
+            diag = pf.step(np.zeros(4), scan, rng)
+        assert np.linalg.norm(diag.estimate[:3]) < 0.4
+
+    def test_history_and_errors(self, rng):
+        backend, gmm = _simple_backend()
+        model = DepthScanMeasurementModel(backend, temperature=2.0)
+        model.calibrate_floor(gmm.sample(300, rng))
+        pf = ParticleFilter(RandomWalkMotionModel(0.02, 0.01), model)
+        pf.initialize(ParticleSet.gaussian([0, 0, 0, 0], [0.2] * 4, 100, rng))
+        scan = gmm.sample(20, rng)
+        for _ in range(3):
+            pf.step(np.zeros(4), scan, rng)
+        errors = pf.position_errors(np.zeros((3, 4)))
+        assert errors.shape == (3,)
+
+    def test_requires_initialisation(self, rng):
+        backend, _ = _simple_backend()
+        model = DepthScanMeasurementModel(backend)
+        pf = ParticleFilter(RandomWalkMotionModel(), model)
+        with pytest.raises(RuntimeError):
+            pf.step(np.zeros(4), np.zeros((3, 3)), rng)
+
+    def test_unknown_resampler_rejected(self):
+        backend, _ = _simple_backend()
+        model = DepthScanMeasurementModel(backend)
+        with pytest.raises(ValueError):
+            ParticleFilter(RandomWalkMotionModel(), model, resampler="bogus")
+
+
+class TestEKF:
+    def test_converges_on_linear_system(self, rng):
+        # 1D constant position observed with noise.
+        f = lambda x, u: x
+        f_jac = lambda x, u: np.eye(1)
+        h = lambda x: x
+        h_jac = lambda x: np.eye(1)
+        ekf = ExtendedKalmanFilter(
+            f, f_jac, h, h_jac, process_noise=np.eye(1) * 1e-6, measurement_noise=np.eye(1) * 0.1
+        )
+        ekf.initialize(np.array([5.0]), np.eye(1) * 10.0)
+        for _ in range(50):
+            ekf.predict(np.zeros(1))
+            ekf.update(np.array([1.0]) + rng.normal(scale=0.3, size=1) * 0)
+        assert ekf.state[0] == pytest.approx(1.0, abs=0.05)
+        assert ekf.covariance[0, 0] < 0.1
+
+    def test_covariance_stays_symmetric(self, rng):
+        f = lambda x, u: x + u
+        f_jac = lambda x, u: np.eye(2)
+        h = lambda x: x[:1]
+        h_jac = lambda x: np.array([[1.0, 0.0]])
+        ekf = ExtendedKalmanFilter(
+            f, f_jac, h, h_jac, np.eye(2) * 0.01, np.eye(1) * 0.1
+        )
+        ekf.initialize(np.zeros(2), np.eye(2))
+        for k in range(10):
+            ekf.predict(np.array([0.1, -0.05]))
+            ekf.update(np.array([0.1 * (k + 1)]))
+        assert np.allclose(ekf.covariance, ekf.covariance.T, atol=1e-12)
+
+    def test_requires_initialisation(self):
+        ekf = ExtendedKalmanFilter(
+            lambda x, u: x,
+            lambda x, u: np.eye(1),
+            lambda x: x,
+            lambda x: np.eye(1),
+            np.eye(1),
+            np.eye(1),
+        )
+        with pytest.raises(RuntimeError):
+            ekf.predict(np.zeros(1))

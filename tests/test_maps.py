@@ -1,0 +1,287 @@
+"""Tests for repro.maps: point clouds, GMM, HMG kernels, HMGM co-design."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maps import (
+    GaussianMixture,
+    HMG_UNIT_INTEGRAL_3D,
+    HMGMixture,
+    PointCloud,
+    diag_gaussian_logpdf,
+    diag_gaussian_pdf,
+    hmg_kernel,
+    hmg_unit_integral,
+    kmeans,
+    kmeans_plus_plus_init,
+)
+from repro.maps.hmg import HMG_UNIT_INTEGRALS, hmg_log_kernel, tail_rectilinearity
+
+
+class TestPointCloud:
+    def test_rejects_empty_and_bad_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((5, 2)))
+
+    def test_subsample(self, rng):
+        cloud = PointCloud(rng.normal(size=(100, 3)))
+        sub = cloud.subsampled(10, rng)
+        assert len(sub) == 10
+
+    def test_subsample_noop_when_small(self, rng):
+        cloud = PointCloud(rng.normal(size=(5, 3)))
+        assert len(cloud.subsampled(10, rng)) == 5
+
+    def test_bounds_contain_points(self, rng):
+        cloud = PointCloud(rng.normal(size=(50, 3)))
+        lo, hi = cloud.bounds()
+        assert np.all(cloud.points >= lo) and np.all(cloud.points <= hi)
+
+    def test_voxel_downsample_reduces(self, rng):
+        cloud = PointCloud(rng.uniform(0, 1, size=(1000, 3)))
+        down = cloud.voxel_downsampled(0.5)
+        assert len(down) <= 8
+
+    def test_transform(self, rng):
+        from repro.scene.se3 import Pose
+
+        cloud = PointCloud(rng.normal(size=(20, 3)))
+        pose = Pose.from_euler([1, 2, 3], yaw=0.5)
+        assert np.allclose(
+            cloud.transformed(pose).points, pose.transform_points(cloud.points)
+        )
+
+
+class TestDiagGaussian:
+    def test_matches_scipy(self, rng):
+        from scipy.stats import multivariate_normal
+
+        points = rng.normal(size=(10, 3))
+        mean = np.array([0.5, -0.2, 1.0])
+        sigma = np.array([0.5, 1.0, 2.0])
+        ours = diag_gaussian_logpdf(points, mean[None], sigma[None])[:, 0]
+        ref = multivariate_normal(mean, np.diag(sigma**2)).logpdf(points)
+        assert np.allclose(ours, ref)
+
+    def test_pdf_positive(self, rng):
+        values = diag_gaussian_pdf(
+            rng.normal(size=(5, 2)), np.zeros((3, 2)), np.ones((3, 2))
+        )
+        assert values.shape == (5, 3)
+        assert np.all(values > 0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            diag_gaussian_logpdf(np.zeros((1, 2)), np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        points = np.concatenate(
+            [rng.normal(loc=c, scale=0.1, size=(50, 2)) for c in ([0, 0], [5, 5], [0, 5])]
+        )
+        centers, labels = kmeans(points, 3, rng)
+        found = np.sort(centers[:, 0] + centers[:, 1])
+        assert np.allclose(found, [0, 5, 10], atol=0.5)
+
+    def test_init_validates_k(self, rng):
+        with pytest.raises(ValueError):
+            kmeans_plus_plus_init(np.zeros((5, 2)), 6, rng)
+
+    def test_labels_cover_all_points(self, rng):
+        points = rng.normal(size=(40, 3))
+        _, labels = kmeans(points, 4, rng)
+        assert labels.shape == (40,)
+        assert set(labels) <= set(range(4))
+
+
+class TestGMM:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(0)
+        truth = GaussianMixture(
+            weights=[0.6, 0.4],
+            means=[[0.0, 0.0, 0.0], [4.0, 4.0, 4.0]],
+            sigmas=[[0.5, 0.5, 0.5], [0.8, 0.8, 0.8]],
+        )
+        data = truth.sample(1500, rng)
+        model = GaussianMixture.fit(data, 2, rng)
+        return truth, model, data
+
+    def test_weights_normalised(self):
+        model = GaussianMixture([2.0, 2.0], np.zeros((2, 2)), np.ones((2, 2)))
+        assert model.weights.sum() == pytest.approx(1.0)
+
+    def test_fit_recovers_means(self, fitted):
+        truth, model, _ = fitted
+        order = np.argsort(model.means[:, 0])
+        assert np.allclose(model.means[order], truth.means, atol=0.2)
+
+    def test_fit_recovers_weights(self, fitted):
+        truth, model, _ = fitted
+        order = np.argsort(model.means[:, 0])
+        assert np.allclose(model.weights[order], truth.weights, atol=0.05)
+
+    def test_loglik_reasonable(self, fitted):
+        truth, model, data = fitted
+        assert model.mean_loglik(data) >= truth.mean_loglik(data) - 0.05
+
+    def test_em_increases_likelihood(self, rng):
+        data = rng.normal(size=(200, 3))
+        model1 = GaussianMixture.fit(data, 3, np.random.default_rng(1), max_iters=1)
+        model50 = GaussianMixture.fit(data, 3, np.random.default_rng(1), max_iters=50)
+        assert model50.mean_loglik(data) >= model1.mean_loglik(data) - 1e-9
+
+    def test_responsibilities_sum_to_one(self, fitted, rng):
+        _, model, _ = fitted
+        resp = model.responsibilities(rng.normal(size=(10, 3)))
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_pdf_integrates_on_grid(self):
+        model = GaussianMixture([1.0], [[0.0]], [[1.0]])
+        x = np.linspace(-8, 8, 2001)[:, None]
+        integral = np.trapezoid(model.pdf(x), x[:, 0])
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_sample_shape_and_stats(self, rng):
+        model = GaussianMixture([1.0], [[2.0, 0.0]], [[0.5, 0.5]])
+        samples = model.sample(2000, rng)
+        assert samples.shape == (2000, 2)
+        assert samples.mean(axis=0) == pytest.approx([2.0, 0.0], abs=0.05)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            GaussianMixture([1.0], [[0.0]], [[0.0]])
+        with pytest.raises(ValueError):
+            GaussianMixture([-1.0, 2.0], np.zeros((2, 1)), np.ones((2, 1)))
+
+
+class TestHMGKernel:
+    def test_peak_normalised(self):
+        value = hmg_kernel(np.zeros((1, 3)), np.zeros((1, 3)), np.ones((1, 3)))
+        assert value[0, 0] == pytest.approx(1.0)
+
+    def test_1d_equals_gaussian(self, rng):
+        x = rng.normal(size=(50, 1))
+        kernel = hmg_kernel(x, np.zeros((1, 1)), np.ones((1, 1)))[:, 0]
+        assert np.allclose(kernel, np.exp(-0.5 * x[:, 0] ** 2))
+
+    def test_heavier_tails_than_gaussian_product(self):
+        point = np.array([[3.0, 3.0]])
+        hmg = hmg_kernel(point, np.zeros((1, 2)), np.ones((1, 2)))[0, 0]
+        gauss = np.exp(-0.5 * 18.0)
+        assert hmg > gauss
+
+    def test_unit_integrals_match_table(self):
+        assert hmg_unit_integral(1, n_grid=4001) == pytest.approx(
+            HMG_UNIT_INTEGRALS[1], rel=1e-4
+        )
+        assert hmg_unit_integral(2, n_grid=801) == pytest.approx(
+            HMG_UNIT_INTEGRALS[2], rel=1e-3
+        )
+        assert hmg_unit_integral(3, n_grid=161) == pytest.approx(
+            HMG_UNIT_INTEGRALS[3], rel=5e-3
+        )
+
+    def test_log_kernel_stable_far_away(self):
+        log_val = hmg_log_kernel(
+            np.array([[100.0, 100.0, 100.0]]), np.zeros((1, 3)), np.ones((1, 3))
+        )
+        assert np.isfinite(log_val).all()
+
+    def test_rectilinearity_orders(self):
+        hmg_ratio, gauss_ratio = tail_rectilinearity()
+        assert gauss_ratio == pytest.approx(np.pi / 4, abs=0.02)
+        assert hmg_ratio > 0.9
+
+    @given(st.floats(0.2, 3.0), st.floats(-2.0, 2.0))
+    @settings(max_examples=30)
+    def test_kernel_bounded(self, sigma, x):
+        value = hmg_kernel(
+            np.array([[x, -x, 0.5 * x]]),
+            np.zeros((1, 3)),
+            np.full((1, 3), sigma),
+        )
+        assert 0.0 <= value[0, 0] <= 1.0
+
+
+class TestHMGMixture:
+    @pytest.fixture(scope="class")
+    def cloud(self):
+        rng = np.random.default_rng(3)
+        gmm = GaussianMixture(
+            [0.5, 0.5],
+            [[0, 0, 0], [3, 3, 1]],
+            [[0.4, 0.4, 0.4], [0.6, 0.6, 0.3]],
+        )
+        return gmm, gmm.sample(1200, rng)
+
+    def test_pdf_integrates_to_one_1d_style(self):
+        # 3D grid integration over a single wide component.
+        model = HMGMixture([1.0], [[0.0, 0.0, 0.0]], [[1.0, 1.0, 1.0]])
+        x = np.linspace(-8, 8, 81)
+        grid = np.stack(np.meshgrid(x, x, x, indexing="ij"), axis=-1).reshape(-1, 3)
+        values = model.pdf(grid)
+        integral = values.sum() * (x[1] - x[0]) ** 3
+        assert integral == pytest.approx(1.0, rel=0.05)
+
+    def test_field_is_weighted_kernels(self, rng):
+        model = HMGMixture(
+            [0.3, 0.7], rng.normal(size=(2, 3)), np.full((2, 3), 0.5)
+        )
+        pts = rng.normal(size=(10, 3))
+        expected = model.kernel_values(pts) @ model.weights
+        assert np.allclose(model.field(pts), expected)
+
+    def test_fit_recovers_structure(self, cloud):
+        _, data = cloud
+        model = HMGMixture.fit(data, 2, np.random.default_rng(0))
+        order = np.argsort(model.means[:, 0])
+        assert np.allclose(model.means[order][0], [0, 0, 0], atol=0.3)
+        assert np.allclose(model.means[order][1], [3, 3, 1], atol=0.3)
+
+    def test_menu_quantisation_sigma_on_menu(self, cloud):
+        _, data = cloud
+        menu = np.array([0.3, 0.5, 0.9])
+        model = HMGMixture.fit(data, 3, np.random.default_rng(0), sigma_menu=menu)
+        assert np.isin(model.sigmas, menu).all()
+
+    def test_per_axis_menu(self, cloud):
+        _, data = cloud
+        menu = np.array([[0.3, 0.6], [0.4, 0.8], [0.2, 0.5]])
+        model = HMGMixture.fit(data, 2, np.random.default_rng(0), sigma_menu=menu)
+        for axis in range(3):
+            assert np.isin(model.sigmas[:, axis], menu[axis]).all()
+
+    def test_from_gmm_keeps_means(self, cloud):
+        gmm, data = cloud
+        fitted = GaussianMixture.fit(data, 2, np.random.default_rng(0))
+        converted = HMGMixture.from_gmm(fitted)
+        assert np.allclose(converted.means, fitted.means)
+
+    def test_refined_weights_improve_match(self, cloud):
+        gmm, data = cloud
+        fitted = GaussianMixture.fit(data, 4, np.random.default_rng(0))
+        menu = np.array([0.5, 0.9])
+        probe = data[:300]
+        raw = HMGMixture.from_gmm(fitted, sigma_menu=menu)
+        refined = HMGMixture.from_gmm(fitted, sigma_menu=menu, refine_points=probe)
+        target = fitted.pdf(probe)
+        assert refined.field_rmse(target, probe) <= raw.field_rmse(target, probe) + 1e-12
+
+    def test_amplitudes_shape(self, cloud):
+        _, data = cloud
+        model = HMGMixture.fit(data, 3, np.random.default_rng(0))
+        amps = model.amplitudes()
+        assert amps.shape == (3,)
+        assert np.all(amps > 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HMGMixture([1.0], [[0, 0]], [[1.0]])
+        with pytest.raises(ValueError):
+            HMGMixture([0.0], [[0, 0]], [[1.0, 1.0]])

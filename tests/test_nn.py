@@ -1,0 +1,345 @@
+"""Tests for repro.nn: layers, gradients, optimizers, quantisation, I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GaussianNLLLoss,
+    L1Loss,
+    LSTM,
+    LeakyReLU,
+    MaxPool2d,
+    MSELoss,
+    QuantizationSpec,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    SoftmaxCrossEntropyLoss,
+    Tanh,
+    dequantize,
+    he_normal,
+    load_state,
+    quantize,
+    quantize_model_weights,
+    save_state,
+    xavier_uniform,
+)
+from repro.nn.quantization import quantization_error
+
+
+def numeric_gradient(f, parameter, indices, eps=1e-6):
+    grads = []
+    for idx in indices:
+        parameter.value[idx] += eps
+        up = f()
+        parameter.value[idx] -= 2 * eps
+        down = f()
+        parameter.value[idx] += eps
+        grads.append((up - down) / (2 * eps))
+    return np.array(grads)
+
+
+class TestGradients:
+    """Finite-difference checks for every layer's backward pass."""
+
+    def _check(self, net, x, y, n_checks=6):
+        loss_fn = MSELoss()
+
+        def forward():
+            return loss_fn(net.forward(x), y)[0]
+
+        _, grad = loss_fn(net.forward(x), y)
+        net.zero_grad()
+        net.backward(grad)
+        rng = np.random.default_rng(0)
+        for parameter in net.parameters():
+            flat = [
+                tuple(rng.integers(0, s) for s in parameter.value.shape)
+                for _ in range(n_checks)
+            ]
+            numeric = numeric_gradient(forward, parameter, flat)
+            analytic = np.array([parameter.grad[idx] for idx in flat])
+            assert np.allclose(numeric, analytic, atol=1e-6), parameter.name
+
+    def test_dense(self, rng):
+        net = Sequential([Dense(4, 3, rng)])
+        self._check(net, rng.normal(size=(5, 4)), rng.normal(size=(5, 3)))
+
+    @pytest.mark.parametrize("act", [ReLU, Tanh, Sigmoid, LeakyReLU])
+    def test_activations(self, act, rng):
+        net = Sequential([Dense(4, 6, rng), act(), Dense(6, 2, rng)])
+        self._check(net, rng.normal(size=(3, 4)) + 0.05, rng.normal(size=(3, 2)))
+
+    def test_conv_pool_flatten(self, rng):
+        net = Sequential(
+            [
+                Conv2d(2, 3, 3, rng, padding=1),
+                ReLU(),
+                MaxPool2d(2),
+                Flatten(),
+            ]
+        )
+        x = rng.normal(size=(2, 2, 6, 6))
+        y = rng.normal(size=net.forward(x).shape)
+        self._check(net, x, y)
+
+    def test_conv_stride(self, rng):
+        net = Sequential([Conv2d(1, 2, 3, rng, stride=2), Flatten()])
+        x = rng.normal(size=(2, 1, 7, 7))
+        y = rng.normal(size=net.forward(x).shape)
+        self._check(net, x, y)
+
+    def test_lstm(self, rng):
+        lstm = LSTM(3, 5, rng, return_sequence=False)
+        head = Dense(5, 2, rng)
+        loss_fn = MSELoss()
+        x = rng.normal(size=(2, 4, 3))
+        y = rng.normal(size=(2, 2))
+
+        def forward():
+            return loss_fn(head.forward(lstm.forward(x)), y)[0]
+
+        _, grad = loss_fn(head.forward(lstm.forward(x)), y)
+        lstm.zero_grad()
+        head.zero_grad()
+        lstm.backward(head.backward(grad))
+        check_rng = np.random.default_rng(1)
+        for parameter in lstm.parameters():
+            flat = [
+                tuple(check_rng.integers(0, s) for s in parameter.value.shape)
+                for _ in range(5)
+            ]
+            numeric = numeric_gradient(forward, parameter, flat)
+            analytic = np.array([parameter.grad[idx] for idx in flat])
+            assert np.allclose(numeric, analytic, atol=1e-6)
+
+    def test_dropout_gradient_uses_mask(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(4, 6))
+        out = dropout.forward(x)
+        mask = dropout.last_mask()
+        grad_in = dropout.backward(np.ones_like(out))
+        assert np.allclose(grad_in, mask / dropout.keep_probability)
+
+
+class TestLayerBehaviour:
+    def test_dense_shape_validation(self, rng):
+        layer = Dense(4, 3, rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((2, 5)))
+
+    def test_relu_zeroes_negative(self):
+        relu = ReLU()
+        assert np.allclose(relu.forward(np.array([[-1.0, 2.0]])), [[0.0, 2.0]])
+
+    def test_maxpool_values(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert np.allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_flatten_round_trip(self, rng):
+        flatten = Flatten()
+        x = rng.normal(size=(3, 2, 4, 5))
+        out = flatten.forward(x)
+        assert out.shape == (3, 40)
+        assert flatten.backward(out).shape == x.shape
+
+    def test_dropout_eval_mode_identity(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        dropout.eval()
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(dropout.forward(x), x)
+
+    def test_dropout_mc_mode_active_in_eval(self, rng):
+        dropout = Dropout(0.5, rng=rng, mc_mode=True)
+        dropout.eval()
+        x = np.ones((1, 1000))
+        out = dropout.forward(x)
+        assert (out == 0).mean() == pytest.approx(0.5, abs=0.06)
+
+    def test_dropout_pinned_mask(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        mask = np.array([1, 0, 1, 0])
+        dropout.pin_mask(mask)
+        out = dropout.forward(np.ones((2, 4)))
+        assert np.allclose(out, [[2, 0, 2, 0], [2, 0, 2, 0]])
+
+    def test_dropout_mask_validation(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        with pytest.raises(ValueError):
+            dropout.pin_mask(np.array([0.5, 1.0]))
+
+    def test_dropout_inverted_scaling_preserves_mean(self, rng):
+        dropout = Dropout(0.5, rng=rng)
+        x = np.ones((1, 20000))
+        out = dropout.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.03)
+
+    def test_sequential_train_eval_propagates(self, rng):
+        net = Sequential([Dense(2, 2, rng), Dropout(0.5, rng=rng)])
+        net.eval()
+        assert not net.layers[1].training
+        net.train()
+        assert net.layers[1].training
+
+    def test_sequential_utilities(self, rng):
+        net = Sequential([Dense(2, 3, rng), ReLU(), Dropout(0.5), Dense(3, 1, rng)])
+        assert len(net.dense_layers()) == 2
+        assert len(net.dropout_layers()) == 1
+        assert len(net) == 4
+        assert isinstance(net[1], ReLU)
+
+
+class TestLosses:
+    def test_mse_zero_at_target(self, rng):
+        y = rng.normal(size=(3, 2))
+        loss, grad = MSELoss()(y, y)
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_l1_gradient_sign(self):
+        loss, grad = L1Loss()(np.array([[2.0]]), np.array([[1.0]]))
+        assert loss == pytest.approx(1.0)
+        assert grad[0, 0] > 0
+
+    def test_gaussian_nll_gradient_numeric(self, rng):
+        loss_fn = GaussianNLLLoss()
+        predictions = rng.normal(size=(4, 6))
+        targets = rng.normal(size=(4, 3))
+        loss, grad = loss_fn(predictions, targets)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 4), (3, 2), (2, 5)]:
+            predictions[idx] += eps
+            up, _ = loss_fn(predictions, targets)
+            predictions[idx] -= 2 * eps
+            down, _ = loss_fn(predictions, targets)
+            predictions[idx] += eps
+            assert grad[idx] == pytest.approx((up - down) / (2 * eps), abs=1e-6)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 0.0, -1.0]])
+        loss, grad = SoftmaxCrossEntropyLoss()(logits, np.array([0]))
+        probs = np.exp(logits) / np.exp(logits).sum()
+        assert loss == pytest.approx(-np.log(probs[0, 0]))
+        assert grad.sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MSELoss()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestOptimizers:
+    def _quadratic_problem(self, optimizer_factory, steps=200):
+        rng = np.random.default_rng(0)
+        net = Sequential([Dense(3, 1, rng)])
+        target_w = np.array([[1.0], [-2.0], [0.5]])
+        x = rng.normal(size=(64, 3))
+        y = x @ target_w
+        optimizer = optimizer_factory(net.parameters())
+        loss_fn = MSELoss()
+        for _ in range(steps):
+            out = net.forward(x)
+            _, grad = loss_fn(out, y)
+            optimizer.zero_grad()
+            net.backward(grad)
+            optimizer.step()
+        return net.parameters()[0].value, target_w
+
+    def test_sgd_converges(self):
+        w, target = self._quadratic_problem(lambda p: SGD(p, lr=0.05), steps=400)
+        assert np.allclose(w, target, atol=0.02)
+
+    def test_sgd_momentum_converges(self):
+        w, target = self._quadratic_problem(lambda p: SGD(p, lr=0.02, momentum=0.9))
+        assert np.allclose(w, target, atol=0.02)
+
+    def test_adam_converges(self):
+        w, target = self._quadratic_problem(lambda p: Adam(p, lr=0.05))
+        assert np.allclose(w, target, atol=0.02)
+
+    def test_weight_decay_shrinks(self, rng):
+        net = Sequential([Dense(2, 2, rng)])
+        net.parameters()[0].value[:] = 10.0
+        optimizer = SGD(net.parameters(), lr=0.1, weight_decay=1.0)
+        net.zero_grad()
+        optimizer.step()
+        assert np.all(np.abs(net.parameters()[0].value) < 10.0)
+
+    def test_lr_validation(self, rng):
+        with pytest.raises(ValueError):
+            SGD([], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+
+
+class TestInit:
+    def test_xavier_bounds(self, rng):
+        w = xavier_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit
+
+    def test_he_scale(self, rng):
+        w = he_normal((400, 100), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.1)
+
+
+class TestQuantization:
+    def test_round_trip_error_bounded(self, rng):
+        tensor = rng.normal(size=(20, 20))
+        spec = QuantizationSpec.for_tensor(tensor, 8)
+        reconstructed = dequantize(quantize(tensor, spec), spec)
+        assert np.max(np.abs(reconstructed - tensor)) <= spec.scale / 2 + 1e-12
+
+    def test_error_decreases_with_bits(self, rng):
+        tensor = rng.normal(size=(50,))
+        errors = [
+            quantization_error(tensor, QuantizationSpec.for_tensor(tensor, b))
+            for b in (3, 5, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_clipping_symmetric(self):
+        spec = QuantizationSpec(bits=4, max_value=1.0)
+        codes = quantize(np.array([10.0, -10.0]), spec)
+        assert codes[0] == spec.levels and codes[1] == -spec.levels
+
+    @given(st.integers(2, 10), st.floats(0.1, 100.0))
+    @settings(max_examples=30)
+    def test_levels_formula(self, bits, max_value):
+        spec = QuantizationSpec(bits=bits, max_value=max_value)
+        assert spec.levels == 2 ** (bits - 1) - 1
+
+    def test_quantize_model_in_place(self, rng):
+        net = Sequential([Dense(4, 4, rng)])
+        original = net.parameters()[0].value.copy()
+        specs = quantize_model_weights(net, 4)
+        assert len(specs) == 2  # weight + bias
+        assert not np.allclose(net.parameters()[0].value, original)
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, rng, tmp_path):
+        net = Sequential([Dense(3, 5, rng), Tanh(), Dense(5, 2, rng)])
+        path = str(tmp_path / "model.npz")
+        save_state(net, path)
+        net2 = Sequential([Dense(3, 5, rng), Tanh(), Dense(5, 2, rng)])
+        load_state(net2, path)
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(net.forward(x), net2.forward(x))
+
+    def test_shape_mismatch_rejected(self, rng, tmp_path):
+        net = Sequential([Dense(3, 5, rng)])
+        path = str(tmp_path / "model.npz")
+        save_state(net, path)
+        other = Sequential([Dense(3, 6, rng)])
+        with pytest.raises(ValueError):
+            load_state(other, path)

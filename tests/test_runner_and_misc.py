@@ -1,0 +1,131 @@
+"""Tests for the experiment registry plus assorted integration details."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, run
+
+
+class TestRunnerRegistry:
+    def test_all_ids_have_descriptions(self):
+        for key, (description, fn) in EXPERIMENTS.items():
+            assert key.startswith("E")
+            assert description
+            assert callable(fn)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run("E99")
+
+    def test_fast_experiment_runs(self):
+        result = run("E9")
+        assert "executed_fraction" in result
+
+    def test_list_mode(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E4" in out and "E9" in out
+
+
+class TestWorldCaching:
+    def test_room_world_cached(self):
+        from repro.experiments.common import build_room_world
+
+        a = build_room_world(seed=3, n_steps=3, n_cloud_points=500, image=(16, 12))
+        b = build_room_world(seed=3, n_steps=3, n_cloud_points=500, image=(16, 12))
+        assert a is b
+
+    def test_different_config_not_cached(self):
+        from repro.experiments.common import build_room_world
+
+        a = build_room_world(seed=3, n_steps=3, n_cloud_points=500, image=(16, 12))
+        b = build_room_world(seed=4, n_steps=3, n_cloud_points=500, image=(16, 12))
+        assert a is not b
+
+
+class TestStandardizerClip:
+    def test_clip_bounds_transform(self, rng):
+        from repro.vo.features import Standardizer
+
+        data = rng.normal(size=(100, 4))
+        scaler = Standardizer.fit(data, clip=2.0)
+        wild = scaler.transform(np.full((1, 4), 1e6))
+        assert np.all(np.abs(wild) <= 2.0)
+
+    def test_no_clip_by_default(self, rng):
+        from repro.vo.features import Standardizer
+
+        data = rng.normal(size=(50, 2))
+        scaler = Standardizer.fit(data)
+        wild = scaler.transform(np.full((1, 2), 1e6))
+        assert np.all(np.abs(wild) > 100)
+
+
+class TestMacroRecalibration:
+    def test_recalibrate_changes_full_scale(self, rng):
+        from repro.sram.macro import SRAMCIMMacro
+
+        macro = SRAMCIMMacro(rng.normal(size=(16, 8)), rng=rng)
+        before = macro.adc_full_scale
+        macro.recalibrate(10.0 * rng.normal(size=(32, 16)))
+        assert macro.adc_full_scale > 2 * before
+
+    def test_engine_calibration_propagates(self, rng):
+        from repro.core.cim_mc_dropout import CIMMCDropoutEngine
+        from repro.nn import Dense, Dropout, ReLU, Sequential
+
+        model = Sequential(
+            [Dense(8, 12, rng), ReLU(), Dropout(0.5, rng=rng), Dense(12, 3, rng)]
+        )
+        engine = CIMMCDropoutEngine(model, use_hardware_rng=False, rng=rng)
+        scales_before = [layer.macro.adc_full_scale for layer in engine.layers]
+        engine.calibrate_adc_ranges(5.0 * rng.normal(size=(64, 8)))
+        scales_after = [layer.macro.adc_full_scale for layer in engine.layers]
+        assert all(a != b for a, b in zip(scales_before, scales_after))
+
+
+class TestLocalizationResult:
+    def test_converged_step(self):
+        from repro.core.cim_particle_filter import LocalizationResult
+        from repro.circuits.energy import EnergyLedger
+
+        errors = np.array([2.0, 1.0, 0.4, 0.3, 0.2])
+        result = LocalizationResult(
+            estimates=np.zeros((5, 4)),
+            errors=errors,
+            diagnostics=[],
+            energy=EnergyLedger(),
+            backend="cim",
+        )
+        assert result.converged_step(threshold=0.5) == 2
+        assert result.converged_step(threshold=0.1) is None
+        assert result.final_error == pytest.approx(0.2)
+
+
+class TestEnergyLedgerEdgeCases:
+    def test_reset_clears(self):
+        from repro.circuits.energy import EnergyLedger
+
+        ledger = EnergyLedger()
+        ledger.add("op", 5, 1e-12)
+        ledger.reset()
+        assert ledger.total_count() == 0
+        assert ledger.total_energy_j() == 0.0
+
+    def test_scaled_rejects_negative(self):
+        from repro.circuits.energy import EnergyLedger
+
+        with pytest.raises(ValueError):
+            EnergyLedger().scaled(-1.0)
+
+
+class TestDatasetJitterDefault:
+    def test_speed_jitter_varies_increments(self):
+        from repro.scene.dataset import SyntheticRGBDScenes
+
+        dataset = SyntheticRGBDScenes(n_scenes=1, frames_per_scene=12, seed=5)
+        trajectory = dataset.trajectory(0)
+        steps = np.linalg.norm(np.diff(trajectory.positions(), axis=0), axis=1)
+        assert steps.std() / steps.mean() > 0.1

@@ -1,0 +1,201 @@
+"""Tests for camera, renderer, trajectories, and the synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.scene.camera import PinholeCamera, body_camera_mount
+from repro.scene.dataset import SyntheticRGBDScenes
+from repro.scene.render import DepthRenderer
+from repro.scene.scene import Scene, make_room_scene
+from repro.scene.primitives import Plane, Sphere
+from repro.scene.se3 import Pose
+from repro.scene.trajectory import (
+    Trajectory,
+    drone_orbit_states,
+    lissajous_trajectory,
+    look_at,
+    orbit_trajectory,
+    states_to_controls,
+)
+from repro.filtering.measurement import state_to_pose
+
+
+@pytest.fixture(scope="module")
+def camera():
+    return PinholeCamera.from_fov(32, 24, fov_x_deg=60.0)
+
+
+class TestCamera:
+    def test_from_fov_focal(self, camera):
+        expected = (32 / 2) / np.tan(np.deg2rad(30))
+        assert camera.fx == pytest.approx(expected)
+
+    def test_project_backproject_round_trip(self, camera, rng):
+        depth = rng.uniform(1.0, 3.0, size=(camera.height, camera.width))
+        points = camera.backproject(depth)
+        pixels, valid = camera.project(points)
+        assert valid.all()
+        u, v = camera.pixel_grid()
+        expected = np.stack([u.reshape(-1), v.reshape(-1)], axis=-1)
+        assert np.allclose(pixels, expected, atol=1e-9)
+
+    def test_backproject_skips_invalid(self, camera):
+        depth = np.full((camera.height, camera.width), np.nan)
+        depth[0, 0] = 2.0
+        points = camera.backproject(depth)
+        assert points.shape == (1, 3)
+        assert points[0, 2] == pytest.approx(2.0)
+
+    def test_project_negative_depth_invalid(self, camera):
+        _, valid = camera.project(np.array([[0.0, 0.0, -1.0]]))
+        assert not valid[0]
+
+    def test_backproject_shape_check(self, camera):
+        with pytest.raises(ValueError):
+            camera.backproject(np.zeros((5, 5)))
+
+    def test_mount_forward_axis(self):
+        mount = body_camera_mount(0.0)
+        # Optical axis (+Z cam) must map to body +X.
+        assert np.allclose(mount.rotation @ [0, 0, 1], [1, 0, 0], atol=1e-12)
+
+    def test_mount_pitch_down(self):
+        mount = body_camera_mount(np.deg2rad(30))
+        forward = mount.rotation @ np.array([0, 0, 1.0])
+        assert forward[2] == pytest.approx(-0.5, abs=1e-9)
+
+
+class TestRenderer:
+    def test_sphere_depth(self, camera):
+        scene = Scene([Sphere([3.0, 0.0, 1.0], 0.5)])
+        pose = look_at([0.0, 0.0, 1.0], [3.0, 0.0, 1.0])
+        depth = DepthRenderer(scene, camera).render(pose)
+        center = depth[camera.height // 2, camera.width // 2]
+        assert center == pytest.approx(2.5, abs=0.01)
+
+    def test_miss_is_nan(self, camera):
+        scene = Scene([Sphere([100.0, 0.0, 0.0], 0.5)])
+        pose = look_at([0.0, 0.0, 0.0], [-1.0, 0.0, 0.0])
+        depth = DepthRenderer(scene, camera, max_range=5.0).render(pose)
+        assert np.isnan(depth).all()
+
+    def test_scan_points_on_surface(self, camera, rng):
+        scene = make_room_scene(rng)
+        pose = look_at([1.0, 1.0, 1.2], [-1.0, -1.0, 0.5])
+        depth = DepthRenderer(scene, camera).render(pose)
+        pts = camera.scan_to_world(depth, pose)
+        assert pts.shape[0] > 50
+        assert np.percentile(np.abs(scene.distance(pts)), 95) < 5e-3
+
+    def test_depth_noise_requires_rng(self, camera, rng):
+        scene = Scene([Plane([0, 0, 1], 0.0)])
+        renderer = DepthRenderer(scene, camera)
+        pose = look_at([0, 0, 2.0], [1.0, 0, 0.0])
+        with pytest.raises(ValueError):
+            renderer.render(pose, depth_noise_std=0.01)
+        noisy = renderer.render(pose, depth_noise_std=0.01, rng=rng)
+        clean = renderer.render(pose)
+        mask = np.isfinite(clean) & np.isfinite(noisy)
+        assert mask.any()
+        assert not np.allclose(noisy[mask], clean[mask])
+
+    def test_intensity_in_unit_range(self, camera, rng):
+        scene = make_room_scene(rng)
+        pose = look_at([1.0, 1.0, 1.2], [-1.0, -1.0, 0.5])
+        depth, intensity = DepthRenderer(scene, camera).render_with_normals(pose)
+        assert intensity.min() >= 0.0 and intensity.max() <= 1.0
+        assert intensity[np.isfinite(depth)].max() > 0.2
+
+
+class TestTrajectories:
+    def test_look_at_points_at_target(self):
+        pose = look_at([0, 0, 1], [5, 5, 1])
+        direction = pose.rotation @ np.array([0, 0, 1.0])
+        expected = np.array([1, 1, 0]) / np.sqrt(2)
+        assert np.allclose(direction, expected, atol=1e-9)
+
+    def test_look_at_rejects_coincident(self):
+        with pytest.raises(ValueError):
+            look_at([1, 1, 1], [1, 1, 1])
+
+    def test_orbit_length_and_validity(self):
+        traj = orbit_trajectory([0, 0, 0.5], radius=1.5, height=1.0, n_poses=12)
+        assert len(traj) == 12
+        assert all(p.is_valid() for p in traj)
+
+    def test_orbit_speed_jitter_changes_steps(self, rng):
+        smooth = orbit_trajectory([0, 0, 0], 1.0, 1.0, 20)
+        jittered = orbit_trajectory([0, 0, 0], 1.0, 1.0, 20, speed_jitter=0.4, rng=rng)
+        step_smooth = np.linalg.norm(np.diff(smooth.positions(), axis=0), axis=1)
+        step_jit = np.linalg.norm(np.diff(jittered.positions(), axis=0), axis=1)
+        assert step_jit.std() > 3 * step_smooth.std()
+
+    def test_relative_increments_recompose(self):
+        traj = orbit_trajectory([0, 0, 0], 1.0, 0.8, 8)
+        poses = [traj[0]]
+        for inc in traj.relative_increments():
+            poses.append(poses[-1].compose(inc))
+        assert np.allclose(poses[-1].as_matrix(), traj[7].as_matrix(), atol=1e-9)
+
+    def test_lissajous_shape(self):
+        traj = lissajous_trajectory([0, 0, 1], [1, 1, 0.3], 15)
+        assert len(traj) == 15
+        assert traj.total_length() > 0
+
+    def test_drone_states_controls_round_trip(self):
+        states = drone_orbit_states([0, 0, 0], 1.2, 1.0, 10)
+        controls = states_to_controls(states)
+        # replay controls noiselessly
+        current = states[0].copy()
+        for t, control in enumerate(controls):
+            yaw = current[3]
+            c, s = np.cos(yaw), np.sin(yaw)
+            current[0] += c * control[0] - s * control[1]
+            current[1] += s * control[0] + c * control[1]
+            current[2] += control[2]
+            current[3] = np.mod(current[3] + control[3] + np.pi, 2 * np.pi) - np.pi
+            assert np.allclose(current[:3], states[t + 1, :3], atol=1e-9)
+
+    def test_state_to_pose_heading(self):
+        state = np.array([1.0, 2.0, 3.0, np.pi / 2])
+        pose = state_to_pose(state)
+        assert np.allclose(pose.rotation @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+        assert np.allclose(pose.translation, [1, 2, 3])
+
+
+class TestDataset:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return SyntheticRGBDScenes(n_scenes=2, frames_per_scene=5, seed=3)
+
+    def test_scene_caching(self, dataset):
+        assert dataset.scene(0) is dataset.scene(0)
+
+    def test_index_bounds(self, dataset):
+        with pytest.raises(IndexError):
+            dataset.scene(2)
+
+    def test_frames_have_poses_and_depth(self, dataset):
+        frames = dataset.frames(0)
+        assert len(frames) == 5
+        assert frames[0].depth.shape == (dataset.camera.height, dataset.camera.width)
+        assert frames[2].valid_fraction > 0.3
+
+    def test_frame_pairs_relative_pose(self, dataset):
+        pairs = dataset.frame_pairs(0)
+        previous, current, relative = pairs[0]
+        assert np.allclose(
+            previous.pose.compose(relative).as_matrix(),
+            current.pose.as_matrix(),
+            atol=1e-9,
+        )
+
+    def test_point_cloud_reproducible(self, dataset):
+        a = dataset.point_cloud(1, n_points=200)
+        b = dataset.point_cloud(1, n_points=200)
+        assert np.allclose(a, b)
+
+    def test_scenes_differ(self, dataset):
+        a = dataset.point_cloud(0, n_points=300)
+        b = dataset.point_cloud(1, n_points=300)
+        assert not np.allclose(a.mean(axis=0), b.mean(axis=0), atol=1e-3)

@@ -1,0 +1,240 @@
+"""Tests for repro.sram: cell, bit line, RNG, dropout generator, macro."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.technology import NODE_16NM
+from repro.sram import (
+    BitLineModel,
+    CrossCoupledInverterRNG,
+    DropoutBitGenerator,
+    EightTransistorCell,
+    MacroConfig,
+    SRAMCIMMacro,
+)
+
+
+class TestCell:
+    def test_write_and_product(self):
+        cell = EightTransistorCell(NODE_16NM)
+        cell.write(1)
+        assert cell.product_current(1) == pytest.approx(cell.unit_current)
+        assert cell.product_current(0) == pytest.approx(cell.leakage)
+        cell.write(0)
+        assert cell.product_current(1) == pytest.approx(cell.leakage)
+
+    def test_row_gating(self):
+        cell = EightTransistorCell(NODE_16NM)
+        cell.write(1)
+        assert cell.product_current(1, row_active=False) == pytest.approx(cell.leakage)
+
+    def test_vt_offset_modulates_leakage(self):
+        lo = EightTransistorCell(NODE_16NM, vt_offset=0.05)
+        hi = EightTransistorCell(NODE_16NM, vt_offset=-0.05)
+        assert hi.leakage > lo.leakage
+
+    def test_validation(self):
+        cell = EightTransistorCell(NODE_16NM)
+        with pytest.raises(ValueError):
+            cell.write(2)
+        with pytest.raises(ValueError):
+            cell.product_current(3)
+
+
+class TestBitLine:
+    def test_mismatch_filtering_with_ports(self):
+        rng_seed = 0
+        few_list, many_list = [], []
+        for inst in range(30):
+            few = BitLineModel.sample(NODE_16NM, 16, np.random.default_rng(inst))
+            many = BitLineModel.sample(NODE_16NM, 1024, np.random.default_rng(inst + 500))
+            few_list.append(few.relative_mismatch())
+            many_list.append(many.relative_mismatch())
+        assert np.mean(many_list) < np.mean(few_list)
+
+    def test_integrated_charge_mean(self, rng):
+        line = BitLineModel.sample(NODE_16NM, 256, rng)
+        charges = [line.integrated_charge(1e-9, rng) for _ in range(200)]
+        expected = line.total_leakage() * 1e-9
+        assert np.mean(charges) == pytest.approx(expected, rel=0.05)
+
+    def test_window_validation(self, rng):
+        line = BitLineModel.sample(NODE_16NM, 8, rng)
+        with pytest.raises(ValueError):
+            line.integrated_charge(0.0, rng)
+
+
+class TestCCIRNG:
+    def test_bias_improves_with_calibration(self):
+        befores, afters = [], []
+        for seed in range(10):
+            cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(seed))
+            cal = cell.calibrate(np.random.default_rng(seed + 100))
+            befores.append(abs(cal.ones_rate_before - 0.5))
+            afters.append(abs(cal.ones_rate_after - 0.5))
+        assert np.mean(afters) < np.mean(befores)
+        assert np.mean(afters) < 0.05
+
+    def test_bits_are_binary(self, rng):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=rng)
+        bits = cell.generate(500, rng)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_low_autocorrelation_after_calibration(self):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(1))
+        run = np.random.default_rng(2)
+        cell.calibrate(run)
+        bits = cell.generate(8000, run).astype(float)
+        autocorr = np.corrcoef(bits[:-1], bits[1:])[0, 1]
+        assert abs(autocorr) < 0.05
+
+    def test_analytic_probability_matches_empirical(self):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(3))
+        run = np.random.default_rng(4)
+        empirical = cell.generate(20000, run).mean()
+        assert empirical == pytest.approx(cell.ideal_ones_probability(), abs=0.02)
+
+    def test_more_columns_more_noise(self):
+        small = CrossCoupledInverterRNG(
+            NODE_16NM, n_columns_per_side=4, rng=np.random.default_rng(0)
+        )
+        large = CrossCoupledInverterRNG(
+            NODE_16NM, n_columns_per_side=32, rng=np.random.default_rng(0)
+        )
+        assert large.noise_sigma() > small.noise_sigma()
+
+    def test_bias_decomposition_keys(self):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(0))
+        decomposition = cell.bias_decomposition()
+        assert set(decomposition) == {
+            "mismatch_volts",
+            "comparator_offset_volts",
+            "trim_volts",
+            "noise_sigma_volts",
+        }
+
+
+class TestDropoutGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(7))
+        cell.calibrate(np.random.default_rng(8))
+        return DropoutBitGenerator(cell, keep_probability=0.5)
+
+    def test_mask_rate_near_half(self, generator):
+        mask = generator.mask(5000, np.random.default_rng(9))
+        assert mask.mean() == pytest.approx(0.5, abs=0.03)
+
+    def test_arbitrary_probability(self):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(7))
+        cell.calibrate(np.random.default_rng(8))
+        generator = DropoutBitGenerator(cell, keep_probability=0.75)
+        mask = generator.mask(4000, np.random.default_rng(9))
+        assert mask.mean() == pytest.approx(0.75, abs=0.04)
+
+    def test_cycle_accounting(self, generator):
+        generator.cycles_used = 0
+        generator.mask(100, np.random.default_rng(0))
+        assert generator.cycles_used == 100
+        assert generator.generation_energy() > 0
+
+    def test_iteration_masks_shapes(self, generator):
+        input_masks, output_masks = generator.iteration_masks(
+            5, 16, 8, np.random.default_rng(1)
+        )
+        assert input_masks.shape == (5, 16)
+        assert output_masks.shape == (5, 8)
+
+    def test_probability_validation(self):
+        cell = CrossCoupledInverterRNG(NODE_16NM, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            DropoutBitGenerator(cell, keep_probability=1.0)
+
+
+class TestMacro:
+    @pytest.fixture(scope="class")
+    def macro(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(32, 16))
+        return SRAMCIMMacro(weight, MacroConfig(weight_bits=6, adc_noise_lsb=0.0), rng=rng), weight
+
+    def test_ideal_matvec_matches_quantised_weights(self, macro, rng):
+        m, weight = macro
+        x = rng.normal(size=(4, 32))
+        assert np.allclose(m.ideal_matvec(x), x @ m.stored_weight)
+
+    def test_matvec_close_to_ideal(self, macro, rng):
+        m, _ = macro
+        x = rng.normal(size=(4, 32))
+        out = m.matvec(x, rng=rng)
+        ref = m.ideal_matvec(x)
+        # quantisation error bounded by ~ADC step scale
+        assert np.max(np.abs(out - ref)) < 5 * m.adc_step
+
+    def test_input_mask_zeroes_columns(self, macro, rng):
+        m, _ = macro
+        x = rng.normal(size=(2, 32))
+        mask = np.zeros(32)
+        mask[:8] = 1
+        out = m.matvec(x, input_mask=mask, rng=rng)
+        ref = m.ideal_matvec(x * mask)
+        assert np.max(np.abs(out - ref)) < 5 * m.adc_step
+
+    def test_output_mask_zeroes_rows(self, macro, rng):
+        m, _ = macro
+        x = rng.normal(size=(2, 32))
+        mask = np.zeros(16)
+        mask[0] = 1
+        out = m.matvec(x, output_mask=mask, rng=rng)
+        assert np.allclose(out[:, 1:], 0.0)
+
+    def test_delta_read_consistency(self, rng):
+        weight = rng.normal(size=(24, 12))
+        macro = SRAMCIMMacro(weight, MacroConfig(adc_noise_lsb=0.0, adc_bits=12), rng=rng)
+        x0 = rng.normal(size=(3, 24))
+        x1 = x0.copy()
+        x1[:, 3] += 1.0
+        p0 = macro.matvec(x0, rng=rng)
+        changed = np.zeros(24, dtype=bool)
+        changed[3] = True
+        p1 = macro.matvec_delta(p0, x1 - x0, changed, rng=rng)
+        ref = macro.matvec(x1, rng=rng)
+        assert np.max(np.abs(p1 - ref)) < 6 * macro.adc_step
+
+    def test_delta_no_change_free(self, rng):
+        weight = rng.normal(size=(8, 4))
+        macro = SRAMCIMMacro(weight, rng=rng)
+        macro.ledger.reset()
+        p = np.zeros((1, 4))
+        out = macro.matvec_delta(p, np.zeros((1, 8)), np.zeros(8, dtype=bool), rng=rng)
+        assert np.allclose(out, p)
+        assert macro.ledger.count("cim_mac") == 0
+
+    def test_energy_scales_with_active_inputs(self, rng):
+        weight = rng.normal(size=(32, 16))
+        macro = SRAMCIMMacro(weight, rng=rng)
+        macro.ledger.reset()
+        macro.matvec(rng.normal(size=(1, 32)), rng=rng)
+        full = macro.ledger.count("cim_mac")
+        macro.ledger.reset()
+        mask = np.zeros(32)
+        mask[:16] = 1
+        macro.matvec(rng.normal(size=(1, 32)), input_mask=mask, rng=rng)
+        half = macro.ledger.count("cim_mac")
+        assert half == full // 2
+
+    def test_lower_precision_larger_error(self, rng):
+        weight = rng.normal(size=(32, 16))
+        x = rng.normal(size=(8, 32))
+        errors = {}
+        for bits in (4, 8):
+            macro = SRAMCIMMacro(
+                weight, MacroConfig(weight_bits=bits, adc_noise_lsb=0.0), rng=rng
+            )
+            out = macro.matvec(x, rng=rng)
+            errors[bits] = np.abs(out - x @ weight).mean()
+        assert errors[4] > errors[8]
+
+    def test_weight_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            SRAMCIMMacro(np.zeros(5), rng=rng)
