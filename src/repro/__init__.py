@@ -28,8 +28,25 @@ top:
 - :mod:`repro.core`      -- the paper's contribution: co-designed
   CIM particle-filter localization and CIM MC-Dropout visual odometry.
 - :mod:`repro.experiments` -- one driver per paper figure/table.
+- :mod:`repro.api`       -- the public entry point: named substrate
+  registry with uniform inference sessions, the typed experiment registry
+  (E1-E11), JSON-round-trippable result schemas, and the
+  ``python -m repro`` CLI.
+
+Most callers should start at :mod:`repro.api`::
+
+    from repro.api import get_substrate, run_experiment
 """
 
 from repro.version import __version__
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "api"]
+
+
+def __getattr__(name: str):
+    # Lazy so `import repro` stays light; `repro.api` pulls in the full stack.
+    if name == "api":
+        import repro.api as api
+
+        return api
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,83 @@
+"""Public entry point to the reproduction stack.
+
+This package is the single front door to everything below it:
+
+- **Substrates** (:mod:`repro.api.substrates`): named, registered compute
+  backends (``"digital"``, ``"cim"``, ``"cim-reuse"``, ``"cim-ordered"``)
+  opening uniform ``session.run(inputs) -> InferenceResult`` sessions over
+  the co-designed engines in :mod:`repro.core`.
+- **Results** (:mod:`repro.api.results`): :class:`InferenceResult` and
+  :class:`ExperimentResult` schemas that round-trip through JSON.
+- **Experiments** (:mod:`repro.api.registry` /
+  :mod:`repro.api.experiments`): a decorator-based registry of typed
+  experiment specs (E1-E11) with seeded RNG injection, config overrides
+  and substrate substitution.
+- **CLI** (:mod:`repro.api.cli`): ``python -m repro list|run|sweep``.
+
+Quick start::
+
+    from repro.api import get_substrate, run_experiment
+
+    # run a registered experiment on a chosen backend
+    result = run_experiment("E6", seed=1, substrate="cim-reuse")
+    print(result.metrics["ate_rmse_m"])
+
+    # or drive a substrate session directly
+    session = get_substrate("cim-ordered").mc_dropout_session(model)
+    inference = session.run(features)
+"""
+
+from repro.api.registry import (
+    ExperimentContext,
+    ExperimentSpec,
+    experiment,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    sweep_experiment,
+)
+from repro.api.results import (
+    ExperimentResult,
+    InferenceResult,
+    from_jsonable,
+    to_jsonable,
+)
+from repro.api.substrates import (
+    InferenceSession,
+    LocalizationSession,
+    MacroOptions,
+    MCDropoutSession,
+    ReusePolicy,
+    Substrate,
+    SubstrateConfig,
+    available_substrates,
+    get_substrate,
+    register_substrate,
+)
+
+__all__ = [
+    # substrates
+    "Substrate",
+    "SubstrateConfig",
+    "MacroOptions",
+    "ReusePolicy",
+    "InferenceSession",
+    "MCDropoutSession",
+    "LocalizationSession",
+    "register_substrate",
+    "get_substrate",
+    "available_substrates",
+    # results
+    "InferenceResult",
+    "ExperimentResult",
+    "to_jsonable",
+    "from_jsonable",
+    # experiments
+    "ExperimentContext",
+    "ExperimentSpec",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "sweep_experiment",
+]

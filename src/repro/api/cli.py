@@ -1,0 +1,189 @@
+"""``python -m repro`` -- the structured experiment CLI.
+
+Subcommands::
+
+    python -m repro list [--json]
+    python -m repro run E4 [E6 ...|all] [--seed N] [--substrate NAME]
+                           [--set key=value ...] [--json] [--out DIR]
+    python -m repro sweep E3 [--substrates digital,cim] [--seeds 0,1,2]
+                             [--set key=value ...] [--json] [--out DIR]
+
+``run`` executes experiments through :mod:`repro.api.registry` and prints
+metrics (or a machine-readable ``ExperimentResult`` with ``--json``);
+``sweep`` runs one experiment over a substrate x seed grid.  ``--out DIR``
+additionally writes one JSON file per result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.api.registry import (
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    sweep_experiment,
+)
+from repro.api.results import ExperimentResult
+from repro.api.substrates import available_substrates
+from repro.version import __version__
+
+
+def _parse_overrides(pairs: list[str] | None) -> dict[str, str] | None:
+    if not pairs:
+        return None
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--set expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        overrides[key.strip()] = value.strip()
+    return overrides
+
+
+def _print_metrics(result: ExperimentResult) -> None:
+    print(f"\n### {result.experiment_id} -- {result.title}")
+    print(
+        f"    seed={result.seed}"
+        + (f" substrate={result.substrate}" if result.substrate else "")
+        + f" runtime={result.runtime_s:.2f}s"
+    )
+    for key, value in result.metrics.items():
+        print(f"  {key}: {value}")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = list_experiments()
+    if args.json:
+        payload = {
+            "experiments": [
+                {
+                    "id": spec.id,
+                    "title": spec.title,
+                    "description": spec.description,
+                    "substrates": list(spec.substrates),
+                }
+                for spec in specs
+            ],
+            "substrates": available_substrates(),
+            "version": __version__,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    for spec in specs:
+        marker = f"  [--substrate {','.join(spec.substrates)}]" if spec.substrates else ""
+        print(f"  {spec.id:4} {spec.title}{marker}")
+    print(f"\nsubstrates: {', '.join(available_substrates())}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = args.ids
+    if ids == ["all"]:
+        ids = [spec.id for spec in list_experiments()]
+    overrides = _parse_overrides(args.set)
+    results = []
+    for experiment_id in ids:
+        results.append(
+            run_experiment(
+                experiment_id,
+                seed=args.seed,
+                substrate=args.substrate,
+                overrides=overrides,
+                out_dir=args.out,
+            )
+        )
+    if args.json:
+        payload = [r.to_dict() for r in results]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+    else:
+        for result in results:
+            _print_metrics(result)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    substrates = args.substrates.split(",") if args.substrates else None
+    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else None
+    results = sweep_experiment(
+        args.id,
+        substrates=substrates,
+        seeds=seeds,
+        overrides=_parse_overrides(args.set),
+        out_dir=args.out,
+    )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        for result in results:
+            _print_metrics(result)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Structured runner for the paper's experiments (E1-E11).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    list_parser = sub.add_parser("list", help="list experiments and substrates")
+    list_parser.add_argument("--json", action="store_true")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("ids", nargs="+", help="experiment ids (or 'all')")
+    run_parser.add_argument("--seed", type=int, default=None)
+    run_parser.add_argument(
+        "--substrate", default=None, help="registered substrate override"
+    )
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="config field override (repeatable)",
+    )
+    run_parser.add_argument("--json", action="store_true")
+    run_parser.add_argument("--out", default=None, metavar="DIR")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run one experiment over a substrate x seed grid"
+    )
+    sweep_parser.add_argument("id", help="experiment id")
+    sweep_parser.add_argument(
+        "--substrates", default=None, help="comma-separated substrate names"
+    )
+    sweep_parser.add_argument(
+        "--seeds", default=None, help="comma-separated integer seeds"
+    )
+    sweep_parser.add_argument(
+        "--set", action="append", metavar="KEY=VALUE", help="config override"
+    )
+    sweep_parser.add_argument("--json", action="store_true")
+    sweep_parser.add_argument("--out", default=None, metavar="DIR")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not getattr(args, "handler", None):
+        parser.print_help()
+        return 0
+    try:
+        return args.handler(args)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,306 @@
+"""Structured experiment registry.
+
+Experiments register themselves with the :func:`experiment` decorator and
+a typed config dataclass; :func:`run_experiment` resolves id + seed +
+substrate + config overrides into an
+:class:`~repro.api.results.ExperimentResult`:
+
+    @dataclass(frozen=True)
+    class AblationConfig:
+        seed: int = 0
+        n_iterations: int = 30
+
+    @experiment("E9", title="reuse ablation", config=AblationConfig)
+    def run_e9(ctx: ExperimentContext) -> dict:
+        return reuse_ablation(seed=ctx.seed, n_iterations=ctx.config.n_iterations)
+
+    result = run_experiment("E9", seed=3, overrides={"n_iterations": 10})
+
+Experiment functions receive an :class:`ExperimentContext` (seed, seeded
+RNG, resolved config, optional substrate override) and return a plain
+metrics dict; the registry handles timing, sanitisation and persistence.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.api.results import ExperimentResult, to_jsonable
+from repro.api.substrates import SubstrateConfig, get_substrate
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment function needs to run.
+
+    Attributes:
+        seed: effective seed for the run.
+        rng: a generator seeded with ``seed`` (fresh per run).
+        config: the experiment's typed config instance (or None).
+        substrate: substrate override, or None for the built-in default.
+    """
+
+    seed: int
+    rng: np.random.Generator
+    config: Any = None
+    substrate: SubstrateConfig | None = None
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment.
+
+    Attributes:
+        id: registry id (``"E4"``).
+        title: human-readable title (matches the paper figure/table).
+        fn: the experiment function ``(ExperimentContext) -> dict``.
+        config_cls: typed config dataclass, or None for no knobs.
+        substrates: substrate names the experiment accepts as overrides;
+            empty means the experiment is not substrate-parametrisable.
+        description: longer help text.
+    """
+
+    id: str
+    title: str
+    fn: Callable[[ExperimentContext], dict]
+    config_cls: type | None = None
+    substrates: tuple[str, ...] = ()
+    description: str = ""
+
+    def default_config(self) -> Any:
+        return None if self.config_cls is None else self.config_cls()
+
+    def make_config(
+        self, overrides: dict[str, Any] | None = None, seed: int | None = None
+    ) -> Any:
+        """Resolve the typed config from defaults + overrides + seed."""
+        if self.config_cls is None:
+            if overrides:
+                raise ValueError(
+                    f"experiment {self.id} takes no config overrides"
+                )
+            return None
+        config = self.config_cls()
+        if overrides:
+            config = dataclasses.replace(
+                config, **_coerce_overrides(self.config_cls, overrides)
+            )
+        if seed is not None and any(
+            f.name == "seed" for f in dataclasses.fields(self.config_cls)
+        ):
+            config = dataclasses.replace(config, seed=int(seed))
+        return config
+
+
+def _coerce_overrides(config_cls: type, overrides: dict[str, Any]) -> dict[str, Any]:
+    """Coerce CLI string overrides onto dataclass field types."""
+    fields = {f.name: f for f in dataclasses.fields(config_cls)}
+    coerced: dict[str, Any] = {}
+    for name, value in overrides.items():
+        if name not in fields:
+            raise ValueError(
+                f"unknown config field {name!r} for {config_cls.__name__}; "
+                f"options: {sorted(fields)}"
+            )
+        if isinstance(value, str):
+            try:
+                value = ast.literal_eval(value)
+            except (ValueError, SyntaxError):
+                pass  # keep as string (e.g. engine="software")
+        default = getattr(config_cls(), name)
+        if isinstance(default, tuple) and isinstance(value, list):
+            value = tuple(value)
+        if not _compatible(default, value):
+            raise ValueError(
+                f"config field {name!r} expects "
+                f"{type(default).__name__}, got {value!r}"
+            )
+        coerced[name] = value
+    return coerced
+
+
+def _compatible(default: Any, value: Any) -> bool:
+    """Does ``value`` fit the type the field's default implies?"""
+    if default is None:
+        return True
+    if isinstance(default, bool):
+        return isinstance(value, bool)
+    if isinstance(default, int):
+        return isinstance(value, int) and not isinstance(value, bool)
+    if isinstance(default, float):
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    return isinstance(value, type(default))
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def experiment(
+    experiment_id: str,
+    title: str,
+    config: type | None = None,
+    substrates: tuple[str, ...] = (),
+    description: str = "",
+) -> Callable[[Callable[[ExperimentContext], dict]], Callable]:
+    """Decorator registering an experiment function under an id."""
+
+    def decorator(fn: Callable[[ExperimentContext], dict]) -> Callable:
+        key = experiment_id.upper()
+        if key in _REGISTRY:
+            raise ValueError(f"experiment {key!r} already registered")
+        doc = (fn.__doc__ or "").strip()
+        _REGISTRY[key] = ExperimentSpec(
+            id=key,
+            title=title,
+            fn=fn,
+            config_cls=config,
+            substrates=tuple(substrates),
+            description=description or (doc.splitlines()[0] if doc else ""),
+        )
+        return fn
+
+    return decorator
+
+
+def _ensure_registered() -> None:
+    """Import the experiment definitions (idempotent)."""
+    import repro.api.experiments  # noqa: F401  (registration side effect)
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Resolve an experiment id (case-insensitive).
+
+    Raises:
+        KeyError: unknown id, with the available options in the message.
+    """
+    _ensure_registered()
+    key = str(experiment_id).upper()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"options: {[spec.id for spec in list_experiments()]}"
+        )
+    return _REGISTRY[key]
+
+
+def list_experiments() -> list[ExperimentSpec]:
+    """All registered experiments, sorted by numeric id."""
+    _ensure_registered()
+
+    def sort_key(spec: ExperimentSpec) -> tuple:
+        digits = "".join(c for c in spec.id if c.isdigit())
+        return (int(digits) if digits else 0, spec.id)
+
+    return sorted(_REGISTRY.values(), key=sort_key)
+
+
+def run_experiment(
+    experiment_id: str,
+    seed: int | None = None,
+    substrate: str | SubstrateConfig | None = None,
+    overrides: dict[str, Any] | None = None,
+    out_dir: str | Path | None = None,
+) -> ExperimentResult:
+    """Run one experiment through the registry.
+
+    Args:
+        experiment_id: registry id (case-insensitive).
+        seed: overrides the config's default seed.
+        substrate: re-run the experiment on this registered substrate
+            (only for experiments declaring substrate support).
+        overrides: config field overrides (CLI strings are coerced).
+        out_dir: when given, the result JSON is written there as
+            ``<id>[-<substrate>]-seed<seed>.json``.
+
+    Returns:
+        The structured :class:`ExperimentResult`.
+    """
+    spec = get_experiment(experiment_id)
+    resolved: SubstrateConfig | None = None
+    if substrate is not None:
+        resolved = get_substrate(substrate)
+        if not spec.substrates:
+            raise ValueError(
+                f"experiment {spec.id} does not support substrate overrides"
+            )
+        if resolved.name not in spec.substrates:
+            raise ValueError(
+                f"experiment {spec.id} supports substrates "
+                f"{list(spec.substrates)}, not {resolved.name!r}"
+            )
+    config = spec.make_config(overrides, seed)
+    effective_seed = (
+        int(seed) if seed is not None else int(getattr(config, "seed", 0) or 0)
+    )
+    context = ExperimentContext(
+        seed=effective_seed,
+        rng=np.random.default_rng(effective_seed),
+        config=config,
+        substrate=resolved,
+    )
+    start = time.perf_counter()
+    metrics = spec.fn(context)
+    runtime = time.perf_counter() - start
+    result = ExperimentResult(
+        experiment_id=spec.id,
+        title=spec.title,
+        seed=effective_seed,
+        substrate=None if resolved is None else resolved.name,
+        config={} if config is None else to_jsonable(dataclasses.asdict(config)),
+        metrics=to_jsonable(metrics),
+        runtime_s=runtime,
+    )
+    if out_dir is not None:
+        stem = spec.id
+        if resolved is not None:
+            stem += f"-{resolved.name}"
+        stem += f"-seed{effective_seed}"
+        result.save(Path(out_dir) / f"{stem}.json")
+    return result
+
+
+def sweep_experiment(
+    experiment_id: str,
+    substrates: list[str] | None = None,
+    seeds: list[int] | None = None,
+    overrides: dict[str, Any] | None = None,
+    out_dir: str | Path | None = None,
+) -> list[ExperimentResult]:
+    """Run one experiment over a substrate x seed grid.
+
+    ``substrates`` / ``seeds`` default to a single entry meaning "the
+    experiment's built-in default"; the cross product is run in order.
+    """
+    substrate_axis: list[str | None] = list(substrates) if substrates else [None]
+    seed_axis: list[int | None] = list(seeds) if seeds else [None]
+    results = []
+    for sub in substrate_axis:
+        for seed in seed_axis:
+            results.append(
+                run_experiment(
+                    experiment_id,
+                    seed=seed,
+                    substrate=sub,
+                    overrides=overrides,
+                    out_dir=out_dir,
+                )
+            )
+    return results
+
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentSpec",
+    "experiment",
+    "get_experiment",
+    "list_experiments",
+    "run_experiment",
+    "sweep_experiment",
+]

@@ -1,0 +1,203 @@
+"""Common result schemas for the public API.
+
+Two dataclasses carry everything the stack produces:
+
+- :class:`InferenceResult` -- one substrate inference (MC-Dropout pass or
+  a localization run): mean / variance / op counts / energy in a schema
+  shared by every substrate.
+- :class:`ExperimentResult` -- one experiment execution: metrics plus the
+  resolved config, seed, substrate and timing metadata.
+
+Both round-trip losslessly through JSON: numpy arrays are encoded as
+tagged ``{"__ndarray__": ..., "dtype": ..., "shape": ...}`` objects so
+``from_json(to_json(x))`` restores dtype and shape exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.version import __version__
+
+_NDARRAY_TAG = "__ndarray__"
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable primitives.
+
+    Numpy arrays become tagged dicts (reversible via
+    :func:`from_jsonable`); numpy scalars become Python scalars; tuples
+    become lists; dataclasses become dicts.  Unknown objects fall back to
+    ``str(obj)`` so report dicts never crash serialisation.
+    """
+    if isinstance(obj, np.ndarray):
+        return {
+            _NDARRAY_TAG: obj.tolist(),
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+        }
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return to_jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return str(obj)
+
+
+def from_jsonable(obj: Any) -> Any:
+    """Reverse :func:`to_jsonable`, restoring tagged numpy arrays."""
+    if isinstance(obj, dict):
+        if _NDARRAY_TAG in obj and "dtype" in obj and "shape" in obj:
+            data = np.asarray(obj[_NDARRAY_TAG], dtype=np.dtype(obj["dtype"]))
+            return data.reshape(obj["shape"])
+        return {key: from_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [from_jsonable(value) for value in obj]
+    return obj
+
+
+def _optional_array(value: Any) -> np.ndarray | None:
+    if value is None:
+        return None
+    return np.asarray(value)
+
+
+@dataclass
+class InferenceResult:
+    """One inference through a registered substrate.
+
+    Attributes:
+        substrate: registered substrate name (e.g. ``"cim-ordered"``).
+        workload: ``"mc-dropout"`` or ``"localization"``.
+        mean: primary estimate -- (B, out) predictive mean for MC-Dropout,
+            (T, 4) posterior-mean states for localization.
+        variance: (B, out) predictive variance, or None when the workload
+            does not produce one.
+        samples: raw per-iteration outputs when available.
+        ops_executed: operations the substrate actually performed.
+        ops_naive: operations a reuse-free, mask-oblivious engine would
+            perform (None when the notion does not apply).
+        energy_j: total energy charged to the run.
+        energy_breakdown_j: per-operation energy split.
+        extras: workload-specific scalars/arrays (errors, mask order, ...).
+    """
+
+    substrate: str
+    workload: str
+    mean: np.ndarray
+    variance: np.ndarray | None = None
+    samples: np.ndarray | None = None
+    ops_executed: int | None = None
+    ops_naive: int | None = None
+    energy_j: float = 0.0
+    energy_breakdown_j: dict[str, float] = field(default_factory=dict)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def reuse_savings(self) -> float:
+        """Fraction of naive work avoided (0 when unknown)."""
+        if not self.ops_naive or self.ops_executed is None:
+            return 0.0
+        return 1.0 - self.ops_executed / self.ops_naive
+
+    def to_dict(self) -> dict:
+        return to_jsonable(dataclasses.asdict(self))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InferenceResult":
+        data = from_jsonable(payload)
+        return cls(
+            substrate=data["substrate"],
+            workload=data["workload"],
+            mean=np.asarray(data["mean"]),
+            variance=_optional_array(data.get("variance")),
+            samples=_optional_array(data.get("samples")),
+            ops_executed=data.get("ops_executed"),
+            ops_naive=data.get("ops_naive"),
+            energy_j=float(data.get("energy_j", 0.0)),
+            energy_breakdown_j=data.get("energy_breakdown_j", {}),
+            extras=data.get("extras", {}),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "InferenceResult":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment execution through the registry.
+
+    Attributes:
+        experiment_id: registry id (e.g. ``"E4"``).
+        title: human-readable experiment title.
+        seed: the seed the run was executed with.
+        substrate: substrate override used, or None for the experiment's
+            built-in default(s).
+        config: resolved typed config as a plain dict.
+        metrics: the experiment's result payload (JSON-safe).
+        runtime_s: wall-clock execution time.
+        version: package version that produced the result.
+    """
+
+    experiment_id: str
+    title: str
+    seed: int
+    substrate: str | None
+    config: dict
+    metrics: dict
+    runtime_s: float
+    version: str = __version__
+
+    def to_dict(self) -> dict:
+        return to_jsonable(dataclasses.asdict(self))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        data = from_jsonable(payload)
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            seed=int(data["seed"]),
+            substrate=data.get("substrate"),
+            config=data.get("config", {}),
+            metrics=data.get("metrics", {}),
+            runtime_s=float(data.get("runtime_s", 0.0)),
+            version=data.get("version", __version__),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> Path:
+        """Write the result as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(indent=2) + "\n")
+        return path
+
+
+__all__ = [
+    "InferenceResult",
+    "ExperimentResult",
+    "to_jsonable",
+    "from_jsonable",
+]

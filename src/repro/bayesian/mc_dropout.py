@@ -109,3 +109,19 @@ class MCDropoutPredictor:
         x = np.atleast_2d(np.asarray(x, dtype=float))
         self.model.eval()
         return self.model.forward(x)
+
+    def ops_per_iteration(self, batch: int = 1) -> int:
+        """Nominal dense MACs one MC iteration performs on ``batch`` inputs.
+
+        The software path executes every weight each pass (no reuse, no
+        mask gating), so this is the exact work count -- the digital
+        reference against which the CIM engine's executed-op fraction is
+        reported.
+        """
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        weights = 0
+        for layer in self.model.dense_layers():
+            fan_in, fan_out = layer.weight.value.shape
+            weights += fan_in * fan_out
+        return batch * weights

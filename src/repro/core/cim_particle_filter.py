@@ -82,6 +82,22 @@ class LocalizationResult:
                 return t
         return None
 
+    def summary_row(self) -> dict:
+        """Flat report row: accuracy figures plus per-query energy."""
+        errors = self.errors
+        energy_per_query = None
+        if self.backend == "cim":
+            energy_per_query = self.energy.total_energy_j() / max(
+                self.energy.count("adc_conversion"), 1
+            )
+        return {
+            "backend": self.backend,
+            "initial_error_m": float(errors[0]),
+            "final_error_m": float(errors[-1]),
+            "steady_state_error_m": float(errors[len(errors) // 2 :].mean()),
+            "energy_per_query": energy_per_query,
+        }
+
 
 class CIMParticleFilterLocalizer:
     """End-to-end co-designed Monte-Carlo localization.

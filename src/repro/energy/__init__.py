@@ -12,6 +12,7 @@ from repro.energy.models import (
     cim_likelihood_energy,
     cim_mc_dropout_energy,
     digital_gmm_energy,
+    digital_mc_dropout_energy,
     digital_nn_energy,
 )
 from repro.energy.report import comparison_table, EnergyComparison
@@ -21,6 +22,7 @@ __all__ = [
     "cim_likelihood_energy",
     "digital_nn_energy",
     "cim_mc_dropout_energy",
+    "digital_mc_dropout_energy",
     "EnergyComparison",
     "comparison_table",
 ]

@@ -143,3 +143,24 @@ def cim_mc_dropout_energy(
             + adc_reads * node.adc_energy(config.adc_bits)
         )
     return n_inferences * total
+
+
+def digital_mc_dropout_energy(
+    node: TechnologyNode,
+    layer_sizes: tuple[int, ...],
+    bits: int = 8,
+    n_iterations: int = 30,
+    batch: int = 1,
+) -> float:
+    """Energy (J) of T-sample MC-Dropout on the digital MAC datapath.
+
+    The digital baseline cannot reuse work across iterations, so the cost
+    is exactly ``n_iterations * batch`` full forward passes (mirrors the
+    accounting :class:`repro.api.substrates.MCDropoutSession` reports for
+    the ``"digital"`` substrate).
+    """
+    if n_iterations < 1 or batch < 1:
+        raise ValueError("counts must be positive")
+    return digital_nn_energy(
+        node, layer_sizes, bits=bits, n_inferences=n_iterations * batch
+    )

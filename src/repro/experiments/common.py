@@ -1,13 +1,24 @@
-"""Shared experiment worlds with in-process caching.
+"""Shared experiment worlds with in-process and optional on-disk caching.
 
 Building a room + rendering a flight, or training the VO network, takes
 tens of seconds; several experiments share them, so they are memoised per
 configuration key for the lifetime of the process.
+
+A second, optional tier persists built worlds to disk (pickle files keyed
+by a hash of the configuration) so *repeated CLI invocations* skip the
+expensive scene render / VO training too.  Enable it either by exporting
+``REPRO_WORLD_CACHE_DIR=/some/dir`` or by calling
+:func:`enable_disk_cache`; :func:`clear_world_caches` and
+:func:`world_cache_stats` bound and inspect both tiers.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -24,6 +35,111 @@ from repro.vo.trainer import VODataset, VOTrainer
 
 _ROOM_CACHE: dict = {}
 _VO_CACHE: dict = {}
+
+_ENV_CACHE_DIR = "REPRO_WORLD_CACHE_DIR"
+_ENV_FALLBACK = object()  # sentinel: no programmatic override, consult env
+_disk_cache_override: object = _ENV_FALLBACK
+_STATS = {"disk_hits": 0, "disk_misses": 0, "disk_writes": 0}
+
+
+def enable_disk_cache(directory: str | os.PathLike | None) -> Path | None:
+    """Point the on-disk world cache at ``directory`` (None disables it).
+
+    Takes precedence over the ``REPRO_WORLD_CACHE_DIR`` environment
+    variable -- including ``None``, which disables the disk tier even when
+    the variable is set.  Returns the resolved path (created on first
+    write), or None when disabled.
+    """
+    global _disk_cache_override
+    _disk_cache_override = None if directory is None else Path(directory)
+    return _disk_cache_override
+
+
+def _disk_cache_dir() -> Path | None:
+    if _disk_cache_override is not _ENV_FALLBACK:
+        return _disk_cache_override
+    env = os.environ.get(_ENV_CACHE_DIR)
+    return Path(env) if env else None
+
+
+def _cache_path(kind: str, key: tuple) -> Path | None:
+    directory = _disk_cache_dir()
+    if directory is None:
+        return None
+    digest = hashlib.sha256(repr((kind, key)).encode()).hexdigest()[:16]
+    return directory / f"{kind}-{digest}.pkl"
+
+
+def _disk_load(kind: str, key: tuple):
+    """Best-effort pickle load; any failure counts as a miss."""
+    path = _cache_path(kind, key)
+    if path is None:
+        return None
+    try:
+        with open(path, "rb") as handle:
+            world = pickle.load(handle)
+        _STATS["disk_hits"] += 1
+        return world
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        _STATS["disk_misses"] += 1
+        return None
+
+
+def _disk_store(kind: str, key: tuple, world) -> None:
+    """Best-effort pickle store; failures never break world building."""
+    path = _cache_path(kind, key)
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(world, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        _STATS["disk_writes"] += 1
+    except (OSError, pickle.PickleError):
+        pass
+
+
+def clear_world_caches(disk: bool = False) -> dict:
+    """Drop cached worlds so long-lived processes can bound memory.
+
+    Args:
+        disk: also delete the on-disk cache files (when a cache dir is
+            configured).
+
+    Returns:
+        Counts of evicted entries: ``{"room": n, "vo": n, "disk_files": m}``.
+    """
+    evicted = {"room": len(_ROOM_CACHE), "vo": len(_VO_CACHE), "disk_files": 0}
+    _ROOM_CACHE.clear()
+    _VO_CACHE.clear()
+    if disk:
+        directory = _disk_cache_dir()
+        if directory is not None and directory.exists():
+            for path in directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    evicted["disk_files"] += 1
+                except OSError:
+                    pass
+    return evicted
+
+
+def world_cache_stats() -> dict:
+    """Cache occupancy and disk-tier statistics (for tests / monitoring)."""
+    directory = _disk_cache_dir()
+    disk_files = []
+    if directory is not None and directory.exists():
+        disk_files = list(directory.glob("*.pkl"))
+    return {
+        "room_entries": len(_ROOM_CACHE),
+        "vo_entries": len(_VO_CACHE),
+        "disk_dir": None if directory is None else str(directory),
+        "disk_files": len(disk_files),
+        "disk_bytes": sum(path.stat().st_size for path in disk_files),
+        **_STATS,
+    }
 
 
 @dataclass
@@ -56,9 +172,13 @@ def build_room_world(
     image: tuple[int, int] = (40, 30),
 ) -> RoomWorld:
     """Room + flight + rendered frames (cached per argument set)."""
-    key = (seed, n_steps, n_cloud_points, image)
+    key = (seed, n_steps, n_cloud_points, tuple(image))
     if key in _ROOM_CACHE:
         return _ROOM_CACHE[key]
+    cached = _disk_load("room", key)
+    if cached is not None:
+        _ROOM_CACHE[key] = cached
+        return cached
     rng = np.random.default_rng(seed)
     scene = make_room_scene(rng)
     cloud = scene.sample_point_cloud(n_cloud_points, rng, noise_std=0.01)
@@ -80,6 +200,7 @@ def build_room_world(
         depths=depths,
     )
     _ROOM_CACHE[key] = world
+    _disk_store("room", key, world)
     return world
 
 
@@ -111,9 +232,13 @@ def build_vo_world(
     epochs: int = 200,
 ) -> VOWorld:
     """Synthetic dataset + trained VO network (cached per argument set)."""
-    key = (seed, n_scenes, frames_per_scene, hidden, dropout_p, epochs)
+    key = (seed, n_scenes, frames_per_scene, tuple(hidden), dropout_p, epochs)
     if key in _VO_CACHE:
         return _VO_CACHE[key]
+    cached = _disk_load("vo", key)
+    if cached is not None:
+        _VO_CACHE[key] = cached
+        return cached
     dataset = SyntheticRGBDScenes(
         n_scenes=n_scenes,
         frames_per_scene=frames_per_scene,
@@ -143,4 +268,5 @@ def build_vo_world(
         val_scene_index=val_scene,
     )
     _VO_CACHE[key] = world
+    _disk_store("vo", key, world)
     return world

@@ -52,19 +52,4 @@ def localization_comparison(
 
 def summarize(results: dict[str, LocalizationResult]) -> list[dict]:
     """Flat table rows (one per backend) for reports."""
-    rows = []
-    for backend, result in results.items():
-        errors = result.errors
-        rows.append(
-            {
-                "backend": backend,
-                "initial_error_m": float(errors[0]),
-                "final_error_m": float(errors[-1]),
-                "steady_state_error_m": float(errors[len(errors) // 2 :].mean()),
-                "energy_per_query": result.energy.total_energy_j()
-                / max(result.energy.count("adc_conversion"), 1)
-                if result.backend == "cim"
-                else None,
-            }
-        )
-    return rows
+    return [result.summary_row() for result in results.values()]

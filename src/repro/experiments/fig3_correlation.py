@@ -26,18 +26,31 @@ def error_uncertainty_experiment(
     occlusion_levels: tuple[float, ...] = (0.0, 0.15, 0.3, 0.5),
     engine: str = "software",
     epochs: int = 200,
+    n_scenes: int = 6,
+    frames_per_scene: int = 40,
+    hidden: tuple[int, ...] = (128, 64),
+    predict_fn=None,
 ) -> dict:
     """Regenerate the Fig. 3(f) scatter and its correlation statistics.
 
     Args:
         engine: "software" (reference MC-Dropout) or "cim-4bit"/"cim-6bit"
             (the macro engine).
+        predict_fn: optional override -- a callable mapping (N, F) features
+            to a (mean, variance) pair; when given, ``engine`` is ignored
+            (this is how :mod:`repro.api` substitutes substrate sessions).
 
     Returns:
         Dict with per-frame errors, uncertainties, severity labels, the
         correlation statistics, and the AUSE ranking metric.
     """
-    world = build_vo_world(seed=seed, epochs=epochs)
+    world = build_vo_world(
+        seed=seed,
+        n_scenes=n_scenes,
+        frames_per_scene=frames_per_scene,
+        hidden=hidden,
+        epochs=epochs,
+    )
     pairs = world.dataset.frame_pairs(world.val_scene_index)
     encoder = world.train.encoder
     occ_rng = np.random.default_rng(seed + 42)
@@ -54,7 +67,9 @@ def error_uncertainty_experiment(
     targets = np.stack(targets, axis=0)
     severity = np.asarray(severity)
 
-    if engine == "software":
+    if predict_fn is not None:
+        mean, variance = predict_fn(features)
+    elif engine == "software":
         predictor = MCDropoutPredictor(
             world.model, n_iterations=n_iterations, rng=np.random.default_rng(seed)
         )

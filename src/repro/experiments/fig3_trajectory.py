@@ -36,6 +36,9 @@ def vo_trajectory_experiment(
         "mc-cim-6bit",
     ),
     epochs: int = 200,
+    n_scenes: int = 6,
+    frames_per_scene: int = 40,
+    hidden: tuple[int, ...] = (128, 64),
 ) -> dict:
     """Regenerate the Fig. 3(c-e) trajectory comparison.
 
@@ -44,7 +47,13 @@ def vo_trajectory_experiment(
         positions, per-mode trajectory metrics, and per-mode per-step
         uncertainty (MC modes only).
     """
-    world = build_vo_world(seed=seed, epochs=epochs)
+    world = build_vo_world(
+        seed=seed,
+        n_scenes=n_scenes,
+        frames_per_scene=frames_per_scene,
+        hidden=hidden,
+        epochs=epochs,
+    )
     val = world.val
     frames = world.dataset.frames(world.val_scene_index)
     gt_poses = [frame.pose for frame in frames]

@@ -1,6 +1,16 @@
-"""Experiment registry and command-line runner.
+"""Legacy experiment runner -- a thin shim over :mod:`repro.api`.
 
-Usage::
+The registry now lives in :mod:`repro.api.registry` (typed configs,
+substrate overrides, JSON results); prefer the structured CLI::
+
+    python -m repro list
+    python -m repro run E4 --json --seed 0
+
+This module keeps the historical surface alive: the ``EXPERIMENTS``
+mapping of ``id -> (description, zero-arg callable)``, :func:`run`, and a
+minimal positional CLI.  Metrics dicts now come from the structured
+registry, so a few inner schemas differ from the pre-API wrappers (e.g.
+E6 nests its per-mode ATE table under ``"ate_rmse_m"``). ::
 
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner E1 E9
@@ -13,59 +23,23 @@ import argparse
 import sys
 from collections.abc import Callable
 
-from repro.experiments.fig2_inverter import inverter_transfer_data
-from repro.experiments.fig2_localization import localization_comparison, summarize
-from repro.experiments.fig2_energy import likelihood_energy_comparison
-from repro.experiments.fig3_rng import rng_statistics
-from repro.experiments.fig3_trajectory import vo_trajectory_experiment
-from repro.experiments.fig3_correlation import error_uncertainty_experiment
-from repro.experiments.tops_per_watt import efficiency_table
-from repro.experiments.reuse_ablation import reuse_ablation
-from repro.experiments.map_fidelity import map_fidelity
-from repro.experiments.conformal_vo import conformal_vo_experiment
+from repro.api.registry import list_experiments, run_experiment
 
 
-def _run_e1() -> dict:
-    data = inverter_transfer_data()
-    return {
-        "peak_shift_error_v": data["peak_shift_error"],
-        "rectilinearity": data["rectilinearity"],
-    }
+def _metrics_runner(experiment_id: str) -> Callable[[], dict]:
+    def _run() -> dict:
+        return run_experiment(experiment_id).metrics
 
-
-def _run_e3() -> dict:
-    return {"rows": summarize(localization_comparison())}
-
-
-def _run_e6() -> dict:
-    data = vo_trajectory_experiment()
-    return {
-        mode: result["report"]["ate_rmse_m"]
-        for mode, result in data["modes"].items()
-    }
-
-
-def _run_e7() -> dict:
-    data = error_uncertainty_experiment()
-    return {"correlation": data["correlation"], "ause": data["ause"]}
+    return _run
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable[[], dict]]] = {
-    "E1": ("Fig 2b-d: inverter transfer functions", _run_e1),
-    "E3": ("Fig 2e-h: localization comparison", _run_e3),
-    "E4": ("Fig 2i: likelihood energy", likelihood_energy_comparison),
-    "E5": ("Fig 3b: SRAM RNG statistics", rng_statistics),
-    "E6": ("Fig 3c-e: VO trajectories", _run_e6),
-    "E7": ("Fig 3f: error-uncertainty correlation", _run_e7),
-    "E8": ("Sec III-D: TOPS/W table", efficiency_table),
-    "E9": ("Sec III-C: reuse ablation", reuse_ablation),
-    "E10": ("Sec II-C: map fidelity", map_fidelity),
-    "E11": ("Sec IV: conformal extension", conformal_vo_experiment),
+    spec.id: (spec.title, _metrics_runner(spec.id)) for spec in list_experiments()
 }
 
 
 def run(experiment_id: str) -> dict:
-    """Run one experiment by id (e.g. "E4"); returns its result dict."""
+    """Run one experiment by id (e.g. "E4"); returns its metrics dict."""
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(
@@ -86,11 +60,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     ids = sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids
     for experiment_id in ids:
-        description, _ = EXPERIMENTS[experiment_id.upper()]
-        print(f"\n### {experiment_id.upper()} -- {description}")
-        result = run(experiment_id)
-        for key, value in result.items():
-            print(f"  {key}: {value}")
+        key = experiment_id.upper()
+        if key not in EXPERIMENTS:
+            print(
+                f"error: unknown experiment {experiment_id!r}; "
+                f"options: {sorted(EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        description, _ = EXPERIMENTS[key]
+        print(f"\n### {key} -- {description}")
+        result = run(key)
+        for name, value in result.items():
+            print(f"  {name}: {value}")
     return 0
 
 

@@ -1,0 +1,203 @@
+"""CLI (`python -m repro`) and world-cache behaviour."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.cli import main
+
+FAST_E9 = [
+    "--set", "n_inputs=32",
+    "--set", "n_outputs=16",
+    "--set", "n_iterations=8",
+    "--set", "n_trials=1",
+]
+
+
+class TestListCommand:
+    def test_list_plain(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("E1", "E4", "E9", "E11"):
+            assert eid in out
+        assert "cim-reuse" in out
+
+    def test_list_json(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = [entry["id"] for entry in payload["experiments"]]
+        assert ids[0] == "E1" and "E9" in ids
+        by_id = {entry["id"]: entry for entry in payload["experiments"]}
+        assert "cim-reuse" in by_id["E3"]["substrates"]
+        assert by_id["E9"]["substrates"] == []
+        assert "digital" in payload["substrates"]
+
+
+class TestRunCommand:
+    def test_run_json_is_machine_readable(self, capsys):
+        assert main(["run", "E9", "--json", "--seed", "0", *FAST_E9]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "E9"
+        assert payload["seed"] == 0
+        assert "executed_fraction" in payload["metrics"]
+
+    def test_run_plain_prints_metrics(self, capsys):
+        assert main(["run", "E9", "--seed", "0", *FAST_E9]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "executed_fraction" in out
+
+    def test_run_multiple_ids_json_list(self, capsys):
+        assert main(["run", "E9", "E9", "--json", *FAST_E9]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 2
+
+    def test_unknown_experiment_fails_friendly(self, capsys):
+        assert main(["run", "E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "E99" in err
+
+    def test_unknown_substrate_fails_friendly(self, capsys):
+        assert main(["run", "E3", "--substrate", "tpu"]) == 2
+        assert "unknown substrate" in capsys.readouterr().err
+
+    def test_substrate_on_plain_experiment_fails_friendly(self, capsys):
+        assert main(["run", "E9", "--substrate", "cim"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_bad_set_pair_fails_friendly(self, capsys):
+        assert main(["run", "E9", "--set", "nonsense"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_out_dir_writes_result(self, tmp_path, capsys):
+        assert main(["run", "E9", "--seed", "1", "--out", str(tmp_path), *FAST_E9]) == 0
+        capsys.readouterr()
+        written = json.loads((tmp_path / "E9-seed1.json").read_text())
+        assert written["experiment_id"] == "E9"
+
+
+class TestSweepCommand:
+    def test_seed_sweep_json(self, capsys):
+        assert main(["sweep", "E9", "--seeds", "0,1", "--json", *FAST_E9]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["seed"] for entry in payload] == [0, 1]
+
+    def test_sweep_unknown_id_friendly(self, capsys):
+        assert main(["sweep", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestWorldCaches:
+    def test_clear_world_caches_empties_memory(self):
+        from repro.experiments.common import (
+            _ROOM_CACHE,
+            build_room_world,
+            clear_world_caches,
+            world_cache_stats,
+        )
+
+        build_room_world(seed=3, n_steps=3, n_cloud_points=500, image=(16, 12))
+        assert world_cache_stats()["room_entries"] >= 1
+        evicted = clear_world_caches()
+        assert evicted["room"] >= 1
+        assert len(_ROOM_CACHE) == 0
+        assert world_cache_stats()["room_entries"] == 0
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        from repro.experiments.common import (
+            build_room_world,
+            clear_world_caches,
+            enable_disk_cache,
+            world_cache_stats,
+        )
+
+        enable_disk_cache(tmp_path)
+        try:
+            clear_world_caches()
+            first = build_room_world(
+                seed=13, n_steps=2, n_cloud_points=200, image=(8, 6)
+            )
+            stats = world_cache_stats()
+            assert stats["disk_files"] == 1
+            assert stats["disk_bytes"] > 0
+
+            clear_world_caches()  # drop memory tier; disk survives
+            hits_before = world_cache_stats()["disk_hits"]
+            second = build_room_world(
+                seed=13, n_steps=2, n_cloud_points=200, image=(8, 6)
+            )
+            assert world_cache_stats()["disk_hits"] == hits_before + 1
+            assert second is not first
+            assert np.array_equal(first.states, second.states)
+            assert np.array_equal(first.cloud, second.cloud)
+            assert np.array_equal(
+                first.depths[0], second.depths[0], equal_nan=True
+            )
+
+            evicted = clear_world_caches(disk=True)
+            assert evicted["disk_files"] == 1
+            assert world_cache_stats()["disk_files"] == 0
+        finally:
+            enable_disk_cache(None)
+            clear_world_caches()
+
+    def test_vo_world_disk_cache(self, tmp_path):
+        from repro.experiments.common import (
+            build_vo_world,
+            clear_world_caches,
+            enable_disk_cache,
+            world_cache_stats,
+        )
+
+        enable_disk_cache(tmp_path)
+        try:
+            clear_world_caches()
+            first = build_vo_world(
+                seed=19, n_scenes=2, frames_per_scene=6, hidden=(8,), epochs=2
+            )
+            clear_world_caches()
+            second = build_vo_world(
+                seed=19, n_scenes=2, frames_per_scene=6, hidden=(8,), epochs=2
+            )
+            assert world_cache_stats()["disk_hits"] >= 1
+            assert np.array_equal(first.train.features, second.train.features)
+            # the restored model predicts identically
+            x = first.val.features
+            first.model.eval()
+            second.model.eval()
+            assert np.array_equal(first.model.forward(x), second.model.forward(x))
+        finally:
+            clear_world_caches(disk=True)
+            enable_disk_cache(None)
+
+    def test_disabled_disk_cache_writes_nothing(self, tmp_path):
+        from repro.experiments.common import (
+            build_room_world,
+            clear_world_caches,
+            enable_disk_cache,
+        )
+
+        enable_disk_cache(None)
+        clear_world_caches()
+        build_room_world(seed=17, n_steps=2, n_cloud_points=200, image=(8, 6))
+        assert list(tmp_path.glob("*.pkl")) == []
+
+    def test_enable_none_overrides_env_var(self, tmp_path, monkeypatch):
+        # Regression: enable_disk_cache(None) must disable the disk tier
+        # even when REPRO_WORLD_CACHE_DIR is exported.
+        import repro.experiments.common as common
+
+        monkeypatch.setenv("REPRO_WORLD_CACHE_DIR", str(tmp_path))
+        common._disk_cache_override = common._ENV_FALLBACK
+        try:
+            assert common._disk_cache_dir() == tmp_path
+            common.enable_disk_cache(None)
+            assert common._disk_cache_dir() is None
+            common.clear_world_caches()
+            common.build_room_world(
+                seed=23, n_steps=2, n_cloud_points=200, image=(8, 6)
+            )
+            assert list(tmp_path.glob("*.pkl")) == []
+        finally:
+            common._disk_cache_override = common._ENV_FALLBACK
+            common.clear_world_caches()

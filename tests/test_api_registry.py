@@ -1,0 +1,228 @@
+"""Experiment registry: resolution, typed configs, results, sweeps."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ExperimentContext,
+    ExperimentResult,
+    experiment,
+    get_experiment,
+    list_experiments,
+    run_experiment,
+    sweep_experiment,
+)
+
+FAST_E9 = {"n_inputs": 32, "n_outputs": 16, "n_iterations": 8, "n_trials": 1}
+
+
+class TestResolution:
+    def test_all_seed_experiments_registered(self):
+        ids = [spec.id for spec in list_experiments()]
+        assert ids == ["E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+
+    def test_numeric_ordering(self):
+        ids = [spec.id for spec in list_experiments()]
+        assert ids.index("E9") < ids.index("E10")
+
+    def test_case_insensitive(self):
+        assert get_experiment("e9").id == "E9"
+
+    def test_unknown_id_raises_keyerror_with_options(self):
+        with pytest.raises(KeyError, match="options"):
+            get_experiment("E99")
+
+    def test_substrate_declarations(self):
+        for eid in ("E3", "E6"):
+            spec = get_experiment(eid)
+            for name in ("digital", "cim", "cim-reuse"):
+                assert name in spec.substrates
+        assert get_experiment("E9").substrates == ()
+
+    def test_every_spec_has_config_and_title(self):
+        for spec in list_experiments():
+            assert spec.title
+            assert spec.config_cls is not None
+            assert dataclasses.is_dataclass(spec.config_cls)
+            assert callable(spec.fn)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @experiment("E9", title="duplicate")
+            def duplicate(ctx):
+                return {}
+
+
+class TestRunExperiment:
+    def test_returns_structured_result(self):
+        result = run_experiment("E9", seed=3, overrides=FAST_E9)
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "E9"
+        assert result.seed == 3
+        assert result.substrate is None
+        assert result.config["n_inputs"] == 32
+        assert result.config["seed"] == 3
+        assert "executed_fraction" in result.metrics
+        assert result.runtime_s > 0
+
+    def test_seed_overrides_config_default(self):
+        result = run_experiment("E9", seed=5, overrides=FAST_E9)
+        assert result.config["seed"] == 5
+
+    def test_string_overrides_coerced(self):
+        result = run_experiment(
+            "E9",
+            overrides={
+                "n_inputs": "32",
+                "n_outputs": "16",
+                "n_iterations": "8",
+                "n_trials": "1",
+                "keep_probability": "0.25",
+            },
+        )
+        assert result.config["keep_probability"] == 0.25
+        assert result.config["n_inputs"] == 32
+
+    def test_unknown_override_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown config field"):
+            run_experiment("E9", overrides={"bogus": "1"})
+
+    def test_type_mismatched_override_rejected(self):
+        # Regression: a non-numeric string used to flow into the
+        # experiment and explode as a raw TypeError mid-run.
+        with pytest.raises(ValueError, match="expects int"):
+            run_experiment("E9", overrides={"n_trials": "zzz"})
+        with pytest.raises(ValueError, match="expects float"):
+            run_experiment("E9", overrides={"keep_probability": "high"})
+
+    def test_substrate_rejected_for_plain_experiment(self):
+        with pytest.raises(ValueError, match="does not support substrate"):
+            run_experiment("E9", substrate="cim")
+
+    def test_unsupported_substrate_rejected(self):
+        with pytest.raises(ValueError, match="supports substrates"):
+            run_experiment("E6", substrate="digital-float")
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment("E9", seed=1, overrides=FAST_E9)
+        b = run_experiment("E9", seed=1, overrides=FAST_E9)
+        assert a.metrics == b.metrics
+
+    def test_out_dir_writes_json(self, tmp_path):
+        run_experiment("E9", seed=2, overrides=FAST_E9, out_dir=tmp_path)
+        path = tmp_path / "E9-seed2.json"
+        assert path.exists()
+        back = ExperimentResult.from_json(path.read_text())
+        assert back.experiment_id == "E9"
+        assert back.seed == 2
+
+    def test_result_json_round_trip(self):
+        result = run_experiment("E9", seed=0, overrides=FAST_E9)
+        back = ExperimentResult.from_json(result.to_json())
+        assert back.metrics == result.metrics
+        assert back.config == result.config
+        assert back.seed == result.seed
+
+
+class TestSubstrateOverride:
+    """E6 on explicit substrates through a tiny VO world."""
+
+    TINY_VO = {
+        "epochs": 3,
+        "n_iterations": 4,
+        "n_scenes": 2,
+        "frames_per_scene": 8,
+        "hidden": (16,),
+    }
+
+    @pytest.fixture(scope="class", autouse=True)
+    def tiny_world(self):
+        # Pre-build the small world once so all runs share the cache.
+        from repro.experiments.common import build_vo_world
+
+        build_vo_world(seed=0, n_scenes=2, frames_per_scene=8, hidden=(16,), epochs=3)
+
+    @pytest.mark.parametrize("substrate", ["digital", "cim-reuse"])
+    def test_e6_runs_on_substrate(self, substrate):
+        result = run_experiment(
+            "E6", seed=0, substrate=substrate, overrides=self.TINY_VO
+        )
+        assert result.substrate == substrate
+        assert substrate in result.metrics["ate_rmse_m"]
+        assert result.metrics["ate_rmse_m"][substrate] > 0
+        assert result.metrics["ops_executed"] > 0
+
+    def test_e3_runs_on_substrate(self):
+        result = run_experiment(
+            "E3",
+            seed=3,
+            substrate="cim",
+            overrides={
+                "n_steps": 3,
+                "n_cloud_points": 500,
+                "image": (16, 12),
+                "n_particles": 40,
+                "n_components": 8,
+            },
+        )
+        assert result.substrate == "cim"
+        (row,) = result.metrics["rows"]
+        assert row["substrate"] == "cim"
+        assert row["backend"] == "cim"
+        assert row["final_error_m"] >= 0
+        assert row["energy_j"] > 0
+
+    def test_e7_substrates_are_distinct_runs(self):
+        # cim vs cim-reuse must differ (regression: engine-string mapping
+        # used to collapse every cim* substrate into one configuration).
+        tiny = {**self.TINY_VO, "occlusion_levels": (0.0, 0.3)}
+        plain = run_experiment("E7", seed=0, substrate="cim", overrides=tiny)
+        reused = run_experiment("E7", seed=0, substrate="cim-reuse", overrides=tiny)
+        assert plain.metrics["engine"] == "cim"
+        assert reused.metrics["engine"] == "cim-reuse"
+        assert plain.metrics["ause"] != reused.metrics["ause"]
+
+    def test_e6_reuse_cheaper_than_plain_cim(self):
+        plain = run_experiment("E6", seed=0, substrate="cim", overrides=self.TINY_VO)
+        reused = run_experiment(
+            "E6", seed=0, substrate="cim-reuse", overrides=self.TINY_VO
+        )
+        assert reused.metrics["ops_executed"] < plain.metrics["ops_executed"]
+        assert reused.metrics["reuse_savings"] > 0
+
+
+class TestSweep:
+    def test_seed_sweep(self):
+        results = sweep_experiment("E9", seeds=[0, 1], overrides=FAST_E9)
+        assert [r.seed for r in results] == [0, 1]
+        assert all(r.experiment_id == "E9" for r in results)
+
+    def test_sweep_writes_distinct_files(self, tmp_path):
+        sweep_experiment("E9", seeds=[0, 1], overrides=FAST_E9, out_dir=tmp_path)
+        assert (tmp_path / "E9-seed0.json").exists()
+        assert (tmp_path / "E9-seed1.json").exists()
+
+
+class TestContext:
+    def test_context_rng_is_seeded(self):
+        captured = {}
+
+        @experiment("ETEST-CTX", title="context probe")
+        def probe(ctx: ExperimentContext):
+            captured["seed"] = ctx.seed
+            captured["draw"] = float(ctx.rng.random())
+            return {"ok": True}
+
+        try:
+            run_experiment("ETEST-CTX", seed=42)
+            assert captured["seed"] == 42
+            assert captured["draw"] == pytest.approx(
+                float(np.random.default_rng(42).random())
+            )
+        finally:
+            from repro.api.registry import _REGISTRY
+
+            _REGISTRY.pop("ETEST-CTX", None)

@@ -132,3 +132,21 @@ class TestReport:
 
     def test_format_energy_roundtrip_units(self):
         assert format_energy(374e-15).endswith("fJ")
+
+
+class TestDigitalMCDropoutModel:
+    def test_is_iterations_times_single_pass(self):
+        sizes = (32, 16, 4)
+        from repro.energy import digital_mc_dropout_energy
+
+        single = digital_nn_energy(NODE_16NM, sizes, bits=8, n_inferences=1)
+        total = digital_mc_dropout_energy(
+            NODE_16NM, sizes, bits=8, n_iterations=30, batch=2
+        )
+        assert total == pytest.approx(60 * single)
+
+    def test_rejects_bad_counts(self):
+        from repro.energy import digital_mc_dropout_energy
+
+        with pytest.raises(ValueError):
+            digital_mc_dropout_energy(NODE_16NM, (8, 4), n_iterations=0)

@@ -28,6 +28,22 @@ class TestRunnerRegistry:
         out = capsys.readouterr().out
         assert "E4" in out and "E9" in out
 
+    def test_main_unknown_id_friendly(self, capsys):
+        # Regression: main() used to index EXPERIMENTS directly and leak a
+        # raw KeyError instead of run()'s friendly message.
+        from repro.experiments.runner import main
+
+        assert main(["E99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err and "E99" in err
+
+    def test_main_runs_lowercase_id(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["e9"]) == 0
+        out = capsys.readouterr().out
+        assert "E9" in out and "executed_fraction" in out
+
 
 class TestWorldCaching:
     def test_room_world_cached(self):
