@@ -32,6 +32,8 @@ top:
   registry with uniform inference sessions, the typed experiment registry
   (E1-E11), JSON-round-trippable result schemas, and the
   ``python -m repro`` CLI.
+- :mod:`repro.runtime`   -- batch-first execution layer: sweep plans,
+  the parallel executor, and the structured on-disk run store.
 
 Most callers should start at :mod:`repro.api`::
 
@@ -40,13 +42,18 @@ Most callers should start at :mod:`repro.api`::
 
 from repro.version import __version__
 
-__all__ = ["__version__", "api"]
+__all__ = ["__version__", "api", "runtime"]
 
 
 def __getattr__(name: str):
-    # Lazy so `import repro` stays light; `repro.api` pulls in the full stack.
+    # Lazy so `import repro` stays light; `repro.api` / `repro.runtime`
+    # pull in the full stack.
     if name == "api":
         import repro.api as api
 
         return api
+    if name == "runtime":
+        import repro.runtime as runtime
+
+        return runtime
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

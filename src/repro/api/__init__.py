@@ -12,7 +12,12 @@ This package is the single front door to everything below it:
   :mod:`repro.api.experiments`): a decorator-based registry of typed
   experiment specs (E1-E11) with seeded RNG injection, config overrides
   and substrate substitution.
-- **CLI** (:mod:`repro.api.cli`): ``python -m repro list|run|sweep``.
+- **CLI** (:mod:`repro.api.cli`):
+  ``python -m repro list|run|sweep|report|bench``.
+
+Sweep grids are executed by the batch runtime (:mod:`repro.runtime`):
+plans, the parallel executor and the structured on-disk
+:class:`~repro.runtime.RunStore`.
 
 Quick start::
 
@@ -33,12 +38,15 @@ from repro.api.registry import (
     experiment,
     get_experiment,
     list_experiments,
+    result_stem,
     run_experiment,
     sweep_experiment,
 )
 from repro.api.results import (
+    BatchResult,
     ExperimentResult,
     InferenceResult,
+    config_hash,
     from_jsonable,
     to_jsonable,
 )
@@ -46,6 +54,7 @@ from repro.api.substrates import (
     InferenceSession,
     LocalizationSession,
     MacroOptions,
+    MaskPlan,
     MCDropoutSession,
     ReusePolicy,
     Substrate,
@@ -62,6 +71,7 @@ __all__ = [
     "MacroOptions",
     "ReusePolicy",
     "InferenceSession",
+    "MaskPlan",
     "MCDropoutSession",
     "LocalizationSession",
     "register_substrate",
@@ -69,7 +79,9 @@ __all__ = [
     "available_substrates",
     # results
     "InferenceResult",
+    "BatchResult",
     "ExperimentResult",
+    "config_hash",
     "to_jsonable",
     "from_jsonable",
     # experiments
@@ -78,6 +90,7 @@ __all__ = [
     "experiment",
     "get_experiment",
     "list_experiments",
+    "result_stem",
     "run_experiment",
     "sweep_experiment",
 ]

@@ -6,12 +6,20 @@ Subcommands::
     python -m repro run E4 [E6 ...|all] [--seed N] [--substrate NAME]
                            [--set key=value ...] [--json] [--out DIR]
     python -m repro sweep E3 [--substrates digital,cim] [--seeds 0,1,2]
-                             [--set key=value ...] [--json] [--out DIR]
+                             [--set key=value ...] [--workers N]
+                             [--store DIR] [--json] [--out DIR]
+    python -m repro report STORE [--json]
+    python -m repro bench [--ids E1 E5 ...] [--repeats N] [--out PATH]
 
 ``run`` executes experiments through :mod:`repro.api.registry` and prints
-metrics (or a machine-readable ``ExperimentResult`` with ``--json``);
-``sweep`` runs one experiment over a substrate x seed grid.  ``--out DIR``
-additionally writes one JSON file per result.
+metrics (or a machine-readable ``ExperimentResult`` with ``--json``).
+``sweep`` compiles the grid into a :class:`~repro.runtime.Plan` and runs
+it through the batch runtime -- ``--workers N`` fans the jobs out over a
+process pool (results identical to serial), ``--store DIR`` streams a
+structured run directory (``manifest.json`` + ``results.jsonl``), and a
+failing cell records an error row instead of aborting the grid.
+``report`` summarises a stored run; ``bench`` times the quick experiment
+configs plus the batched-session path and writes ``BENCH_runtime.json``.
 """
 
 from __future__ import annotations
@@ -19,12 +27,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 
 from repro.api.registry import (
     get_experiment,
     list_experiments,
     run_experiment,
-    sweep_experiment,
+    save_results,
 )
 from repro.api.results import ExperimentResult
 from repro.api.substrates import available_substrates
@@ -41,6 +51,15 @@ def _parse_overrides(pairs: list[str] | None) -> dict[str, str] | None:
         key, value = pair.split("=", 1)
         overrides[key.strip()] = value.strip()
     return overrides
+
+
+def _parse_seeds(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(
+            f"--seeds expects comma-separated integers, got {text!r}"
+        ) from None
 
 
 def _print_metrics(result: ExperimentResult) -> None:
@@ -105,20 +124,174 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runtime import ParallelExecutor, Plan, RunStore
+
     substrates = args.substrates.split(",") if args.substrates else None
-    seeds = [int(s) for s in args.seeds.split(",")] if args.seeds else None
-    results = sweep_experiment(
-        args.id,
-        substrates=substrates,
-        seeds=seeds,
-        overrides=_parse_overrides(args.set),
-        out_dir=args.out,
+    seeds = _parse_seeds(args.seeds) if args.seeds else None
+    overrides = _parse_overrides(args.set)
+    plan = Plan.compile(
+        args.id, substrates=substrates, seeds=seeds, overrides=overrides
     )
+    store = None
+    if args.store:
+        command = f"repro sweep {args.id}"
+        if args.substrates:
+            command += f" --substrates {args.substrates}"
+        if args.seeds:
+            command += f" --seeds {args.seeds}"
+        for pair in args.set or []:
+            command += f" --set {pair}"
+        command += f" --workers {args.workers}"
+        store = RunStore.create(args.store, plan=plan, command=command)
+    report = ParallelExecutor(workers=args.workers).execute(plan, store=store)
+    if args.out:
+        save_results(report.results, args.out, overrides)
     if args.json:
-        print(json.dumps([r.to_dict() for r in results], indent=2))
+        print(
+            json.dumps(
+                [record.to_jsonable() for record in report.records], indent=2
+            )
+        )
     else:
-        for result in results:
-            _print_metrics(result)
+        for record in report.records:
+            if record.ok:
+                _print_metrics(record.result)
+            else:
+                last_line = record.error.strip().splitlines()[-1]
+                print(f"\n### {record.job.job_id} -- FAILED: {last_line}")
+        summary = report.summary()
+        print(
+            f"\nsweep: {summary['n_jobs']} job(s), {summary['n_ok']} ok, "
+            f"{summary['n_failed']} failed in {summary['wall_time_s']:.2f}s "
+            f"(workers={summary['workers']})"
+        )
+        if store is not None:
+            print(f"store: {store.path}")
+    return 0 if report.n_failed == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.runtime import RunStore
+
+    store = RunStore.load(args.store)
+    if args.json:
+        payload = {
+            "summary": store.summary(),
+            "records": [record.to_jsonable() for record in store.records()],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    summary = store.summary()
+    print(f"run store: {summary['path']}")
+    print(
+        f"  status={summary['status']} planned={summary['n_jobs_planned']} "
+        f"recorded={summary['n_recorded']} ok={summary['n_ok']} "
+        f"failed={summary['n_failed']}"
+    )
+    if summary.get("wall_time_s") is not None:
+        print(
+            f"  wall_time={summary['wall_time_s']:.2f}s "
+            f"workers={summary.get('workers')}"
+        )
+    for record in store.records():
+        if record.ok:
+            scalars = {
+                key: value
+                for key, value in record.result.metrics.items()
+                if isinstance(value, (int, float, str, bool))
+            }
+            line = " ".join(f"{k}={v}" for k, v in list(scalars.items())[:4])
+            print(f"  ok     {record.job.job_id}  {record.duration_s:.2f}s  {line}")
+        else:
+            last_line = record.error.strip().splitlines()[-1]
+            print(f"  FAILED {record.job.job_id}  {last_line}")
+    return 0
+
+
+# Quick configs for the perf-trajectory benchmark: the fast, world-free
+# experiments (inverter transfer, likelihood energy, RNG statistics).
+_BENCH_CONFIGS: dict[str, dict] = {
+    "E1": {"n_grid": 101},
+    "E4": {"n_queries": 200},
+    "E5": {"column_sweep": (2, 4), "n_instances": 2, "bits_per_instance": 512},
+}
+
+
+def _bench_batch_session(n_items: int = 6, n_iterations: int = 12) -> dict:
+    """Time the batched-session path against a naive run() loop."""
+    import numpy as np
+
+    from repro.api.substrates import get_substrate
+    from repro.nn import Dense, Dropout, ReLU, Sequential
+
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        [
+            Dense(32, 16, rng),
+            ReLU(),
+            Dropout(0.5, rng=np.random.default_rng(1)),
+            Dense(16, 4, rng),
+        ]
+    )
+    items = [rng.normal(size=(4, 32)) for _ in range(n_items)]
+    session = get_substrate("cim-ordered").mc_dropout_session(
+        model, n_iterations=n_iterations, rng=np.random.default_rng(2)
+    )
+    start = time.perf_counter()
+    for item in items:
+        session.run(item, rng=np.random.default_rng(3))
+    loop_s = time.perf_counter() - start
+    start = time.perf_counter()
+    session.run_batch(items, rng=np.random.default_rng(3))
+    batch_s = time.perf_counter() - start
+    return {
+        "substrate": "cim-ordered",
+        "n_items": n_items,
+        "n_iterations": n_iterations,
+        "loop_s": loop_s,
+        "batch_s": batch_s,
+        "speedup": loop_s / batch_s if batch_s > 0 else None,
+    }
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    ids = [eid.upper() for eid in (args.ids or list(_BENCH_CONFIGS))]
+    benchmarks = []
+    for experiment_id in ids:
+        spec = get_experiment(experiment_id)
+        overrides = _BENCH_CONFIGS.get(spec.id)
+        times = []
+        for _ in range(args.repeats):
+            result = run_experiment(spec.id, seed=0, overrides=overrides)
+            times.append(result.runtime_s)
+        entry = {
+            "experiment_id": spec.id,
+            "title": spec.title,
+            "overrides": overrides,
+            "repeats": args.repeats,
+            "mean_s": sum(times) / len(times),
+            "min_s": min(times),
+            "max_s": max(times),
+        }
+        benchmarks.append(entry)
+        print(
+            f"  {spec.id:4} mean={entry['mean_s']:.4f}s "
+            f"min={entry['min_s']:.4f}s (x{args.repeats})"
+        )
+    batch = _bench_batch_session()
+    print(
+        f"  run_batch: loop={batch['loop_s']:.4f}s batch={batch['batch_s']:.4f}s "
+        f"speedup={batch['speedup']:.2f}x"
+    )
+    payload = {
+        "version": __version__,
+        "benchmarks": benchmarks,
+        "batch_session": batch,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
     return 0
 
 
@@ -165,9 +338,47 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--set", action="append", metavar="KEY=VALUE", help="config override"
     )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process count (1 = serial; results identical either way)",
+    )
+    sweep_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="write a structured run store (manifest.json + results.jsonl)",
+    )
     sweep_parser.add_argument("--json", action="store_true")
     sweep_parser.add_argument("--out", default=None, metavar="DIR")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report", help="summarise a run store written by sweep --store"
+    )
+    report_parser.add_argument("store", help="run store directory")
+    report_parser.add_argument("--json", action="store_true")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="time the quick experiment configs and the batched-session "
+        "path; writes BENCH_runtime.json",
+    )
+    bench_parser.add_argument(
+        "--ids",
+        nargs="+",
+        default=None,
+        metavar="ID",
+        help=f"experiments to time (default: {' '.join(_BENCH_CONFIGS)})",
+    )
+    bench_parser.add_argument("--repeats", type=int, default=3, metavar="N")
+    bench_parser.add_argument(
+        "--out", default="BENCH_runtime.json", metavar="PATH"
+    )
+    bench_parser.set_defaults(handler=_cmd_bench)
     return parser
 
 
@@ -179,7 +390,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     try:
         return args.handler(args)
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, FileNotFoundError, FileExistsError) as error:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2

@@ -32,8 +32,74 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.api.results import ExperimentResult, to_jsonable
+from repro.api.results import ExperimentResult, config_hash, to_jsonable
 from repro.api.substrates import SubstrateConfig, get_substrate
+
+
+def result_stem(
+    experiment_id: str,
+    substrate: str | None,
+    seed: int,
+    overrides: dict[str, Any] | None = None,
+) -> str:
+    """Filename stem for one run: ``E3-cim-seed1[-cfg<hash>]``.
+
+    The config hash is appended only when overrides are present, so two
+    runs of the same id/substrate/seed with different ``--set`` values
+    land in different files instead of overwriting each other (and
+    default filenames stay byte-identical to the historical scheme).
+    """
+    stem = experiment_id
+    if substrate:
+        stem += f"-{substrate}"
+    stem += f"-seed{seed}"
+    digest = config_hash(overrides)
+    if digest:
+        stem += f"-cfg{digest}"
+    return stem
+
+
+def resolve_substrate(
+    spec: "ExperimentSpec", substrate: "str | SubstrateConfig | None"
+) -> SubstrateConfig | None:
+    """Resolve + validate a substrate override against an experiment spec.
+
+    Shared by :func:`run_experiment` and plan compilation so both reject
+    the same grids with the same messages.
+
+    Raises:
+        KeyError: unknown substrate name.
+        ValueError: the experiment does not accept this substrate.
+    """
+    if substrate is None:
+        return None
+    resolved = get_substrate(substrate)
+    if not spec.substrates:
+        raise ValueError(
+            f"experiment {spec.id} does not support substrate overrides"
+        )
+    if resolved.name not in spec.substrates:
+        raise ValueError(
+            f"experiment {spec.id} supports substrates "
+            f"{list(spec.substrates)}, not {resolved.name!r}"
+        )
+    return resolved
+
+
+def save_results(
+    results: "list[ExperimentResult]",
+    out_dir: str | Path,
+    overrides: dict[str, Any] | None = None,
+) -> list[Path]:
+    """Write one JSON file per result using config-hashed stems."""
+    out_dir = Path(out_dir)
+    paths = []
+    for result in results:
+        stem = result_stem(
+            result.experiment_id, result.substrate, result.seed, overrides
+        )
+        paths.append(result.save(out_dir / f"{stem}.json"))
+    return paths
 
 
 @dataclass
@@ -223,18 +289,7 @@ def run_experiment(
         The structured :class:`ExperimentResult`.
     """
     spec = get_experiment(experiment_id)
-    resolved: SubstrateConfig | None = None
-    if substrate is not None:
-        resolved = get_substrate(substrate)
-        if not spec.substrates:
-            raise ValueError(
-                f"experiment {spec.id} does not support substrate overrides"
-            )
-        if resolved.name not in spec.substrates:
-            raise ValueError(
-                f"experiment {spec.id} supports substrates "
-                f"{list(spec.substrates)}, not {resolved.name!r}"
-            )
+    resolved = resolve_substrate(spec, substrate)
     config = spec.make_config(overrides, seed)
     effective_seed = (
         int(seed) if seed is not None else int(getattr(config, "seed", 0) or 0)
@@ -258,11 +313,7 @@ def run_experiment(
         runtime_s=runtime,
     )
     if out_dir is not None:
-        stem = spec.id
-        if resolved is not None:
-            stem += f"-{resolved.name}"
-        stem += f"-seed{effective_seed}"
-        result.save(Path(out_dir) / f"{stem}.json")
+        save_results([result], out_dir, overrides)
     return result
 
 
@@ -272,26 +323,44 @@ def sweep_experiment(
     seeds: list[int] | None = None,
     overrides: dict[str, Any] | None = None,
     out_dir: str | Path | None = None,
+    workers: int = 1,
+    store: "Any | None" = None,
 ) -> list[ExperimentResult]:
     """Run one experiment over a substrate x seed grid.
 
     ``substrates`` / ``seeds`` default to a single entry meaning "the
-    experiment's built-in default"; the cross product is run in order.
+    experiment's built-in default"; the cross product is compiled into a
+    :class:`~repro.runtime.Plan` and executed by the batch runtime --
+    serially by default, or across ``workers`` processes (the runtime
+    guarantees identical results either way because every job's seed is
+    explicit in its :class:`~repro.runtime.JobSpec`).
+
+    Args:
+        experiment_id: registry id.
+        substrates: substrate axis (None entries mean built-in default).
+        seeds: seed axis.
+        overrides: config field overrides applied to every cell.
+        out_dir: write one JSON file per result (config-hashed stems).
+        workers: process count; ``1`` runs in-process.
+        store: a :class:`~repro.runtime.RunStore` (or path) capturing the
+            manifest and one JSONL record per job.
+
+    Returns:
+        The successful results in grid order.  A failing cell raises the
+        captured error -- but only after the rest of the grid has
+        completed and every successful result has been written to
+        ``out_dir``/``store``, so partial work is never lost.
     """
-    substrate_axis: list[str | None] = list(substrates) if substrates else [None]
-    seed_axis: list[int | None] = list(seeds) if seeds else [None]
-    results = []
-    for sub in substrate_axis:
-        for seed in seed_axis:
-            results.append(
-                run_experiment(
-                    experiment_id,
-                    seed=seed,
-                    substrate=sub,
-                    overrides=overrides,
-                    out_dir=out_dir,
-                )
-            )
+    from repro.runtime import ParallelExecutor, Plan
+
+    plan = Plan.compile(
+        experiment_id, substrates=substrates, seeds=seeds, overrides=overrides
+    )
+    report = ParallelExecutor(workers=workers).execute(plan, store=store)
+    results = report.results
+    if out_dir is not None:
+        save_results(results, out_dir, overrides)
+    report.raise_on_error()
     return results
 
 
@@ -301,6 +370,9 @@ __all__ = [
     "experiment",
     "get_experiment",
     "list_experiments",
+    "resolve_substrate",
+    "result_stem",
     "run_experiment",
+    "save_results",
     "sweep_experiment",
 ]

@@ -16,16 +16,31 @@ tagged ``{"__ndarray__": ..., "dtype": ..., "shape": ...}`` objects so
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
 from repro.version import __version__
 
 _NDARRAY_TAG = "__ndarray__"
+
+
+def config_hash(overrides: Mapping[str, Any] | None) -> str:
+    """Short stable digest of a config-override mapping.
+
+    Used to disambiguate result filenames and job ids: two runs of the
+    same experiment/substrate/seed with different ``--set`` overrides get
+    different stems instead of silently overwriting each other.  Returns
+    ``""`` for no overrides so default filenames stay unchanged.
+    """
+    if not overrides:
+        return ""
+    canonical = json.dumps(to_jsonable(dict(overrides)), sort_keys=True)
+    return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:8]
 
 
 def to_jsonable(obj: Any) -> Any:
@@ -139,6 +154,89 @@ class InferenceResult:
 
 
 @dataclass
+class BatchResult:
+    """One batched inference (``session.run_batch``) on a substrate.
+
+    Holds one :class:`InferenceResult` per batch item plus batch-level
+    accounting that has no per-item owner (e.g. the hardware RNG energy
+    of drawing the shared mask streams).  Each item is bit-for-bit what a
+    standalone ``session.run`` with the same pinned masks and per-item
+    noise generator would produce, so any cell of a large batch can be
+    reproduced in isolation.
+
+    Attributes:
+        substrate: registered substrate name.
+        workload: ``"mc-dropout"`` or ``"localization"``.
+        results: per-item inference results, in input order.
+        mask_generation_energy_j: energy spent drawing the shared mask
+            streams (amortised over the whole batch, 0 for software RNG).
+        extras: batch-level metadata (item count, iteration count, ...).
+    """
+
+    substrate: str
+    workload: str
+    results: list[InferenceResult]
+    mask_generation_energy_j: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator[InferenceResult]:
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> InferenceResult:
+        return self.results[index]
+
+    @property
+    def total_energy_j(self) -> float:
+        """Batch energy: per-item totals plus shared mask generation."""
+        return (
+            sum(result.energy_j for result in self.results)
+            + self.mask_generation_energy_j
+        )
+
+    @property
+    def total_ops_executed(self) -> int:
+        return sum(result.ops_executed or 0 for result in self.results)
+
+    def stacked_means(self) -> np.ndarray:
+        """All item means concatenated along the row axis."""
+        return np.concatenate([result.mean for result in self.results], axis=0)
+
+    def to_dict(self) -> dict:
+        return {
+            "substrate": self.substrate,
+            "workload": self.workload,
+            "results": [result.to_dict() for result in self.results],
+            "mask_generation_energy_j": self.mask_generation_energy_j,
+            "extras": to_jsonable(self.extras),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BatchResult":
+        return cls(
+            substrate=payload["substrate"],
+            workload=payload["workload"],
+            results=[
+                InferenceResult.from_dict(entry)
+                for entry in payload.get("results", [])
+            ],
+            mask_generation_energy_j=float(
+                payload.get("mask_generation_energy_j", 0.0)
+            ),
+            extras=from_jsonable(payload.get("extras", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "BatchResult":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
 class ExperimentResult:
     """One experiment execution through the registry.
 
@@ -197,7 +295,9 @@ class ExperimentResult:
 
 __all__ = [
     "InferenceResult",
+    "BatchResult",
     "ExperimentResult",
+    "config_hash",
     "to_jsonable",
     "from_jsonable",
 ]

@@ -32,7 +32,7 @@ from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.api.results import InferenceResult
+from repro.api.results import BatchResult, InferenceResult
 from repro.bayesian.masks import MaskStream
 from repro.bayesian.mc_dropout import MCDropoutPredictor
 from repro.core.cim_mc_dropout import CIMMCDropoutEngine
@@ -184,6 +184,34 @@ class InferenceSession(Protocol):
     def run(self, inputs: Any, rng: np.random.Generator | None = None) -> InferenceResult:
         ...
 
+    def run_batch(
+        self, inputs: Any, rng: np.random.Generator | None = None
+    ) -> BatchResult:
+        ...
+
+
+@dataclass(frozen=True)
+class MaskPlan:
+    """Pre-drawn dropout mask streams (and visit order) for a session.
+
+    A batch of inference calls shares one mask plan: the streams are
+    drawn once -- amortising software sampling, hardware RNG cycles and
+    the O(T^2) ordering search -- and pinned into every item's engine
+    pass.  Obtained from :meth:`MCDropoutSession.draw_masks`.
+
+    Attributes:
+        streams: per-mapped-layer streams for CIM engines (None entries
+            where a stage has no dropout) or per-Dropout-layer streams
+            for the digital predictor.
+        order: iteration visit order (None keeps the natural order).
+        generation_energy_j: hardware RNG energy spent drawing the
+            streams (0 for software sampling).
+    """
+
+    streams: tuple
+    order: np.ndarray | None = None
+    generation_energy_j: float = 0.0
+
 
 # ---------------------------------------------------------------------------
 # Registry
@@ -318,14 +346,59 @@ class MCDropoutSession:
                 model, n_iterations=self.n_iterations, rng=self._rng
             )
 
+    def draw_masks(self, rng: np.random.Generator | None = None) -> MaskPlan:
+        """Draw (and order) one set of mask streams for later pinning.
+
+        The returned :class:`MaskPlan` can be passed to :meth:`run` /
+        :meth:`run_batch` so many inference calls share identical masks
+        without re-drawing them -- the amortisation the batch runtime
+        relies on.  With the hardware RNG the plan also carries the
+        generation energy, which :meth:`run_batch` accounts once at the
+        batch level instead of charging it to any single item.
+        """
+        rng = rng if rng is not None else self._rng
+        if isinstance(self.engine, CIMMCDropoutEngine):
+            generator = self.engine.bit_generator
+            energy_before = (
+                generator.generation_energy() if generator is not None else 0.0
+            )
+            streams = self.engine.draw_mask_streams(rng)
+            order = self.engine.order_mask_streams(streams)
+            energy = (
+                generator.generation_energy() - energy_before
+                if generator is not None
+                else 0.0
+            )
+            return MaskPlan(
+                streams=tuple(streams), order=order, generation_energy_j=energy
+            )
+        streams = _bernoulli_streams(self.model, self.n_iterations, rng)
+        return MaskPlan(streams=tuple(streams), order=None)
+
     def run(
-        self, inputs: np.ndarray, rng: np.random.Generator | None = None
+        self,
+        inputs: np.ndarray,
+        rng: np.random.Generator | None = None,
+        masks: MaskPlan | None = None,
     ) -> InferenceResult:
-        """One MC-Dropout inference over an input batch."""
+        """One MC-Dropout inference over an input batch.
+
+        Args:
+            inputs: (B, in) feature batch.
+            rng: per-call generator (mask drawing + analog noise); default
+                is the session's own generator.
+            masks: pre-drawn mask plan (see :meth:`draw_masks`) pinning
+                the dropout streams instead of drawing fresh ones.
+        """
         x = np.atleast_2d(np.asarray(inputs, dtype=float))
         if isinstance(self.engine, CIMMCDropoutEngine):
             self.engine.reset_energy()
-            result = self.engine.predict(x, rng=rng)
+            result = self.engine.predict(
+                x,
+                rng=rng,
+                mask_streams=None if masks is None else list(masks.streams),
+                mask_order=None if masks is None else masks.order,
+            )
             ledger = result.energy
             return InferenceResult(
                 substrate=self.substrate.name,
@@ -349,7 +422,9 @@ class MCDropoutSession:
         # predictor samples masks from the model's dropout layers, so an
         # explicit rng is routed in as pinned Bernoulli streams.
         mask_streams = None
-        if rng is not None:
+        if masks is not None:
+            mask_streams = list(masks.streams)
+        elif rng is not None:
             mask_streams = _bernoulli_streams(self.model, self.n_iterations, rng)
         prediction = self.engine.predict(x, mask_streams=mask_streams)
         ops = self.engine.ops_per_iteration(x.shape[0]) * self.n_iterations
@@ -372,6 +447,56 @@ class MCDropoutSession:
             energy_j=energy,
             energy_breakdown_j={"digital_mac_datapath": energy},
             extras={"n_iterations": self.n_iterations},
+        )
+
+    def run_batch(
+        self,
+        inputs: Any,
+        rng: np.random.Generator | None = None,
+        masks: MaskPlan | None = None,
+    ) -> BatchResult:
+        """Batched MC-Dropout inference: shared masks, per-item noise.
+
+        The mask streams (and, for ordered CIM engines, the visit order)
+        are drawn **once** from ``rng`` and pinned into every item's
+        engine pass, so mask generation, the ordering search and the
+        session's macro mapping are amortised over the batch instead of
+        rebuilt per call.  One child generator is spawned per item for
+        analog read noise, which makes every cell independently
+        reproducible: item ``i`` is bit-for-bit equal to::
+
+            base = np.random.default_rng(seed)          # same seed
+            plan = session.draw_masks(base)
+            session.run(inputs[i], rng=base.spawn(n)[i], masks=plan)
+
+        Args:
+            inputs: sequence of ``run()`` payloads (each a (B_i, in)
+                feature batch).
+            rng: base generator for the shared masks and the per-item
+                noise spawn; default is the session's own generator.
+            masks: pre-drawn mask plan; default draws one from ``rng``.
+
+        Returns:
+            A :class:`BatchResult` with one :class:`InferenceResult` per
+            item plus the shared mask-generation energy.
+        """
+        items = list(inputs)
+        rng = rng if rng is not None else self._rng
+        plan = masks if masks is not None else self.draw_masks(rng)
+        item_rngs = rng.spawn(len(items))
+        results = [
+            self.run(item, rng=item_rng, masks=plan)
+            for item, item_rng in zip(items, item_rngs)
+        ]
+        return BatchResult(
+            substrate=self.substrate.name,
+            workload=self.workload,
+            results=results,
+            mask_generation_energy_j=plan.generation_energy_j,
+            extras={
+                "n_items": len(items),
+                "n_iterations": self.n_iterations,
+            },
         )
 
 
@@ -442,6 +567,40 @@ class LocalizationSession:
             },
         )
 
+    def run_batch(
+        self, inputs: Any, rng: np.random.Generator | None = None
+    ) -> BatchResult:
+        """Run a batch of sequences from a shared initial belief.
+
+        ``inputs`` is a sequence of ``(controls, depths, truth)`` tuples.
+        The filter state at batch entry (the initialised prior) is
+        snapshotted and restored before every item, and one child
+        generator is spawned per item, so each sequence is bit-for-bit
+        what a freshly initialised session running only that sequence
+        with ``rng.spawn(n)[i]`` would estimate -- the expensive map
+        programming and array calibration are done once for the whole
+        batch.  The likelihood-backend energy ledger is reset per item,
+        so each result's energy covers its own sequence only.
+        """
+        items = list(inputs)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        item_rngs = rng.spawn(len(items))
+        pf = self.localizer.filter
+        initial_particles = pf.particles
+        initial_history = list(pf.history)
+        results = []
+        for item, item_rng in zip(items, item_rngs):
+            pf.particles = initial_particles
+            pf.history = list(initial_history)
+            self.localizer.field_backend.ledger.reset()
+            results.append(self.run(item, rng=item_rng))
+        return BatchResult(
+            substrate=self.substrate.name,
+            workload=self.workload,
+            results=results,
+            extras={"n_items": len(items)},
+        )
+
 
 def _bernoulli_streams(
     model: Sequential, n_iterations: int, rng: np.random.Generator
@@ -478,6 +637,7 @@ __all__ = [
     "SubstrateConfig",
     "Substrate",
     "InferenceSession",
+    "MaskPlan",
     "MCDropoutSession",
     "LocalizationSession",
     "register_substrate",

@@ -208,8 +208,15 @@ class CIMMCDropoutEngine:
                 pre = pre + layer.bias
             current = layer.activation.forward(pre) if layer.activation else pre
 
-    def _draw_masks(self, rng: np.random.Generator) -> list[MaskStream | None]:
-        """One mask stream per mapped layer (None where no dropout)."""
+    def draw_mask_streams(
+        self, rng: np.random.Generator
+    ) -> list[MaskStream | None]:
+        """One mask stream per mapped layer (None where no dropout).
+
+        Exposed so batch runtimes can draw the streams once and pin them
+        across many :meth:`predict` calls (mask generation -- and, with
+        the hardware RNG, its cycle cost -- is then amortised).
+        """
         streams: list[MaskStream | None] = []
         for layer in self.layers:
             if layer.pre_dropout_p <= 0:
@@ -232,7 +239,10 @@ class CIMMCDropoutEngine:
             raise ValueError("no dropout layer found in the mapped model")
         return streams
 
-    def _order_masks(self, streams: list[MaskStream | None]) -> np.ndarray:
+    def order_mask_streams(
+        self, streams: list[MaskStream | None]
+    ) -> np.ndarray:
+        """Iteration visit order for ``streams`` under the engine's policy."""
         if not self.ordering:
             return np.arange(self.n_iterations, dtype=np.int64)
         joint = None
@@ -242,12 +252,59 @@ class CIMMCDropoutEngine:
             joint = stream if joint is None else joint.concatenate(stream)
         return optimal_mask_order(joint.masks)
 
-    def predict(self, x: np.ndarray, rng: np.random.Generator | None = None) -> MCDropoutResult:
-        """MC-Dropout inference of (B, in) inputs on the macro stack."""
+    def _validate_streams(
+        self, mask_streams: list[MaskStream | None]
+    ) -> list[MaskStream | None]:
+        streams = list(mask_streams)
+        if len(streams) != len(self.layers):
+            raise ValueError(
+                f"need {len(self.layers)} mask streams (one per mapped "
+                f"layer, None where no dropout), got {len(streams)}"
+            )
+        for stream, layer in zip(streams, self.layers):
+            if stream is None:
+                continue
+            if stream.n_iterations != self.n_iterations:
+                raise ValueError(
+                    f"mask stream has {stream.n_iterations} iterations, "
+                    f"engine runs {self.n_iterations}"
+                )
+            if stream.width != layer.macro.in_features:
+                raise ValueError(
+                    f"mask stream width {stream.width} != macro fan-in "
+                    f"{layer.macro.in_features}"
+                )
+        return streams
+
+    def predict(
+        self,
+        x: np.ndarray,
+        rng: np.random.Generator | None = None,
+        mask_streams: list[MaskStream | None] | None = None,
+        mask_order: np.ndarray | None = None,
+    ) -> MCDropoutResult:
+        """MC-Dropout inference of (B, in) inputs on the macro stack.
+
+        Args:
+            x: (B, in) inputs.
+            rng: generator for mask drawing and analog read noise.
+            mask_streams: pre-drawn per-mapped-layer streams (from
+                :meth:`draw_mask_streams`); default draws fresh ones.
+            mask_order: pre-computed visit order for the pinned streams;
+                default applies the engine's ordering policy.
+        """
         rng = rng or self._rng
         x = np.atleast_2d(np.asarray(x, dtype=float))
-        streams = self._draw_masks(rng)
-        order = self._order_masks(streams)
+        if mask_streams is None:
+            streams = self.draw_mask_streams(rng)
+        else:
+            streams = self._validate_streams(mask_streams)
+        if mask_order is None:
+            order = self.order_mask_streams(streams)
+        else:
+            order = np.asarray(mask_order, dtype=np.int64)
+            if sorted(order.tolist()) != list(range(self.n_iterations)):
+                raise ValueError("mask_order must be a permutation of iterations")
         ordered = [None if s is None else s.reordered(order) for s in streams]
 
         batch = x.shape[0]

@@ -1,0 +1,202 @@
+"""Structured on-disk run store: ``manifest.json`` + ``results.jsonl``.
+
+A run directory replaces the flat one-file-per-result ``--out`` scheme
+with something a fleet of sweeps can be queried through:
+
+- ``manifest.json`` -- what the run *is*: the compiled plan, creation
+  time, package version, status (``running`` -> ``complete``/``partial``)
+  and final counts.
+- ``results.jsonl`` -- what actually *happened*: one JSON line per
+  finished job (ok rows carry the full ``ExperimentResult``; error rows
+  carry the worker traceback), appended as jobs complete so a killed run
+  keeps every cell it already computed.
+
+Typical use::
+
+    store = RunStore.create("runs/demo", plan=plan)
+    ParallelExecutor(workers=4).execute(plan, store=store)
+
+    loaded = RunStore.load("runs/demo")
+    loaded.results()                      # [ExperimentResult, ...]
+    loaded.query(substrate="cim", seed=1) # filtered records
+    loaded.summary()                      # counts / status / timing
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.api.results import ExperimentResult
+from repro.runtime.executor import ExecutionReport, JobRecord
+from repro.runtime.plan import Plan
+from repro.version import __version__
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+
+class RunStore:
+    """One sweep run on disk.
+
+    Create with :meth:`create` (new run) or :meth:`load` (existing run
+    directory); the constructor itself does not touch the filesystem.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        manifest: dict[str, Any],
+        records: list[JobRecord] | None = None,
+    ):
+        self.path = Path(path)
+        self.manifest = manifest
+        self._records: list[JobRecord] = list(records or [])
+
+    # -- creation / loading ------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        plan: Plan | None = None,
+        command: str | None = None,
+        extra: dict[str, Any] | None = None,
+    ) -> "RunStore":
+        """Initialise a run directory with a manifest and empty results.
+
+        Refuses to reuse a directory that already holds a run (a store
+        is an append-only record of one execution, not a scratch dir).
+        """
+        path = Path(path)
+        if (path / MANIFEST_NAME).exists():
+            raise FileExistsError(
+                f"run store already exists at {path}; choose a fresh directory"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        manifest: dict[str, Any] = {
+            "version": __version__,
+            "created_at": datetime.now(timezone.utc).isoformat(),
+            "status": "running",
+            "command": command,
+            "n_jobs": None if plan is None else len(plan),
+            "plan": None if plan is None else plan.to_jsonable(),
+        }
+        if extra:
+            manifest.update(extra)
+        store = cls(path, manifest)
+        store._write_manifest()
+        (path / RESULTS_NAME).touch()
+        return store
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunStore":
+        """Load a run directory (manifest + every result line)."""
+        path = Path(path)
+        manifest_path = path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no run store manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text())
+        records: list[JobRecord] = []
+        results_path = path / RESULTS_NAME
+        if results_path.exists():
+            for line in results_path.read_text().splitlines():
+                line = line.strip()
+                if line:
+                    records.append(JobRecord.from_jsonable(json.loads(line)))
+        records.sort(key=lambda record: record.job.index)
+        return cls(path, manifest, records)
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, record: JobRecord) -> None:
+        """Append one finished job to ``results.jsonl`` (flushed)."""
+        with (self.path / RESULTS_NAME).open("a") as handle:
+            handle.write(json.dumps(record.to_jsonable()) + "\n")
+        self._records.append(record)
+
+    def finalize(self, report: ExecutionReport) -> None:
+        """Stamp the manifest with the execution outcome."""
+        summary = report.summary()
+        self.manifest.update(
+            {
+                "status": "complete" if report.n_failed == 0 else "partial",
+                "finished_at": datetime.now(timezone.utc).isoformat(),
+                **summary,
+            }
+        )
+        self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        (self.path / MANIFEST_NAME).write_text(
+            json.dumps(self.manifest, indent=2) + "\n"
+        )
+
+    # -- querying ----------------------------------------------------------
+
+    @property
+    def plan(self) -> Plan | None:
+        payload = self.manifest.get("plan")
+        return None if payload is None else Plan.from_jsonable(payload)
+
+    def records(self) -> list[JobRecord]:
+        """Every stored record, in plan order."""
+        return sorted(self._records, key=lambda record: record.job.index)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self.records())
+
+    def results(self) -> list[ExperimentResult]:
+        """Successful results, in plan order."""
+        return [record.result for record in self.records() if record.ok]
+
+    def errors(self) -> list[JobRecord]:
+        """Failed records (traceback in ``record.error``)."""
+        return [record for record in self.records() if not record.ok]
+
+    def query(
+        self,
+        experiment_id: str | None = None,
+        substrate: str | None = None,
+        seed: int | None = None,
+        status: str | None = None,
+    ) -> list[JobRecord]:
+        """Records matching every given filter (None = wildcard)."""
+        matches = []
+        for record in self.records():
+            job = record.job
+            if experiment_id is not None and job.experiment_id != experiment_id.upper():
+                continue
+            if substrate is not None and job.substrate != substrate:
+                continue
+            if seed is not None and job.seed != seed:
+                continue
+            if status is not None and record.status != status:
+                continue
+            matches.append(record)
+        return matches
+
+    def summary(self) -> dict[str, Any]:
+        """Run-level summary combining the manifest and stored records."""
+        records = self.records()
+        n_ok = sum(1 for record in records if record.ok)
+        return {
+            "path": str(self.path),
+            "status": self.manifest.get("status", "unknown"),
+            "created_at": self.manifest.get("created_at"),
+            "version": self.manifest.get("version"),
+            "n_jobs_planned": self.manifest.get("n_jobs"),
+            "n_recorded": len(records),
+            "n_ok": n_ok,
+            "n_failed": len(records) - n_ok,
+            "wall_time_s": self.manifest.get("wall_time_s"),
+            "workers": self.manifest.get("workers"),
+        }
+
+
+__all__ = ["RunStore", "MANIFEST_NAME", "RESULTS_NAME"]

@@ -69,11 +69,27 @@ class TestRunCommand:
         assert main(["run", "E9", "--set", "nonsense"]) == 2
         assert "key=value" in capsys.readouterr().err
 
+    def test_bad_set_value_fails_friendly(self, capsys):
+        assert main(["run", "E9", "--set", "n_iterations=abc"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "n_iterations" in err
+
     def test_out_dir_writes_result(self, tmp_path, capsys):
+        # Overridden runs get a config-hashed stem (collision fix); the
+        # default-config name stays E9-seed1.json.
         assert main(["run", "E9", "--seed", "1", "--out", str(tmp_path), *FAST_E9]) == 0
         capsys.readouterr()
-        written = json.loads((tmp_path / "E9-seed1.json").read_text())
+        files = list(tmp_path.glob("E9-seed1-cfg*.json"))
+        assert len(files) == 1
+        written = json.loads(files[0].read_text())
         assert written["experiment_id"] == "E9"
+
+    def test_out_dir_distinct_overrides_do_not_collide(self, tmp_path, capsys):
+        base = ["run", "E9", "--seed", "1", "--out", str(tmp_path)]
+        assert main([*base, *FAST_E9]) == 0
+        assert main([*base, *FAST_E9[:-2], "--set", "n_trials=2"]) == 0
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("E9-seed1-cfg*.json"))) == 2
 
 
 class TestSweepCommand:
@@ -81,9 +97,97 @@ class TestSweepCommand:
         assert main(["sweep", "E9", "--seeds", "0,1", "--json", *FAST_E9]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert [entry["seed"] for entry in payload] == [0, 1]
+        assert all(entry["status"] == "ok" for entry in payload)
+        assert all(entry["result"]["experiment_id"] == "E9" for entry in payload)
 
     def test_sweep_unknown_id_friendly(self, capsys):
         assert main(["sweep", "E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_sweep_bad_seeds_friendly(self, capsys):
+        assert main(["sweep", "E9", "--seeds", "0,x"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_parallel_sweep_matches_serial(self, capsys):
+        assert main(["sweep", "E9", "--seeds", "0,1", "--json", *FAST_E9]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                ["sweep", "E9", "--seeds", "0,1", "--workers", "2", "--json", *FAST_E9]
+            )
+            == 0
+        )
+        parallel = json.loads(capsys.readouterr().out)
+        assert [e["result"]["metrics"] for e in serial] == [
+            e["result"]["metrics"] for e in parallel
+        ]
+
+    def test_sweep_store_and_report(self, tmp_path, capsys):
+        store = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "sweep", "E9", "--seeds", "0,1", "--workers", "2",
+                    "--store", str(store), *FAST_E9,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 ok" in out and str(store) in out
+        assert (store / "manifest.json").exists()
+        assert len((store / "results.jsonl").read_text().splitlines()) == 2
+
+        assert main(["report", str(store)]) == 0
+        report = capsys.readouterr().out
+        assert "status=complete" in report and "E9-seed1" in report
+
+        assert main(["report", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["n_ok"] == 2
+        assert len(payload["records"]) == 2
+
+    def test_sweep_failing_cell_exit_code_and_store(self, tmp_path, capsys):
+        store = tmp_path / "run"
+        code = main(
+            [
+                "sweep", "E9", "--seeds", "0,1", "--store", str(store),
+                *FAST_E9[:-2], "--set", "keep_probability=1.5",
+            ]
+        )
+        assert code == 1  # grid completed, but cells failed
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "2 failed" in out
+
+    def test_sweep_existing_store_friendly(self, tmp_path, capsys):
+        store = tmp_path / "run"
+        args = ["sweep", "E9", "--store", str(store), *FAST_E9]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "already exists" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_missing_store_friendly(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        assert "manifest" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_bench_writes_runtime_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_runtime.json"
+        assert main(["bench", "--ids", "E1", "--repeats", "1", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "run_batch" in text
+        payload = json.loads(out.read_text())
+        assert payload["benchmarks"][0]["experiment_id"] == "E1"
+        assert payload["benchmarks"][0]["mean_s"] > 0
+        assert payload["batch_session"]["batch_s"] > 0
+
+    def test_bench_unknown_id_friendly(self, capsys):
+        assert main(["bench", "--ids", "E99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
 
 

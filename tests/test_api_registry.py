@@ -112,10 +112,12 @@ class TestRunExperiment:
         assert a.metrics == b.metrics
 
     def test_out_dir_writes_json(self, tmp_path):
+        # Overridden runs get a config-hashed stem so different --set
+        # values never overwrite each other.
         run_experiment("E9", seed=2, overrides=FAST_E9, out_dir=tmp_path)
-        path = tmp_path / "E9-seed2.json"
-        assert path.exists()
-        back = ExperimentResult.from_json(path.read_text())
+        paths = list(tmp_path.glob("E9-seed2-cfg*.json"))
+        assert len(paths) == 1
+        back = ExperimentResult.from_json(paths[0].read_text())
         assert back.experiment_id == "E9"
         assert back.seed == 2
 
@@ -202,8 +204,8 @@ class TestSweep:
 
     def test_sweep_writes_distinct_files(self, tmp_path):
         sweep_experiment("E9", seeds=[0, 1], overrides=FAST_E9, out_dir=tmp_path)
-        assert (tmp_path / "E9-seed0.json").exists()
-        assert (tmp_path / "E9-seed1.json").exists()
+        assert len(list(tmp_path.glob("E9-seed0-cfg*.json"))) == 1
+        assert len(list(tmp_path.glob("E9-seed1-cfg*.json"))) == 1
 
 
 class TestContext:

@@ -234,7 +234,7 @@ class TestCIMMCDropoutEngine:
         engine = CIMMCDropoutEngine(
             _mc_model(rng), n_iterations=40, use_hardware_rng=True, rng=rng
         )
-        streams = engine._draw_masks(rng)
+        streams = engine.draw_mask_streams(rng)
         keep_rate = streams[1].empirical_keep_rate()
         assert keep_rate == pytest.approx(0.5, abs=0.08)
 
