@@ -19,7 +19,10 @@ process pool (results identical to serial), ``--store DIR`` streams a
 structured run directory (``manifest.json`` + ``results.jsonl``), and a
 failing cell records an error row instead of aborting the grid.
 ``report`` summarises a stored run; ``bench`` times the quick experiment
-configs plus the batched-session path and writes ``BENCH_runtime.json``.
+configs plus the batched-session path (``BENCH_runtime.json``) and the
+CIM engine's loop-vs-sample-major fast path plus the macro's fused
+``matvec_many`` (``BENCH_engine.json``), exiting non-zero if the fast
+path is slower than the loop at the reference config.
 """
 
 from __future__ import annotations
@@ -254,6 +257,130 @@ def _bench_batch_session(n_items: int = 6, n_iterations: int = 12) -> dict:
     }
 
 
+# Reference config for the engine fast-path benchmark (BENCH_engine.json):
+# a mid-sized two-stage network, MC depth 24, batch 8, reuse off -- the
+# schedule where every iteration is independent and the sample-major path
+# replaces the whole T x L Python loop.
+_ENGINE_BENCH = {
+    "n_inputs": 48,
+    "n_hidden": 32,
+    "n_outputs": 16,
+    "n_iterations": 24,
+    "batch": 8,
+    "dropout_p": 0.5,
+}
+
+
+def _engine_bench_model():
+    import numpy as np
+
+    from repro.nn import Dense, Dropout, ReLU, Sequential
+
+    cfg = _ENGINE_BENCH
+    rng = np.random.default_rng(0)
+    return Sequential(
+        [
+            Dense(cfg["n_inputs"], cfg["n_hidden"], rng),
+            ReLU(),
+            Dropout(cfg["dropout_p"], rng=np.random.default_rng(1)),
+            Dense(cfg["n_hidden"], cfg["n_outputs"], rng),
+        ]
+    )
+
+
+def _bench_engine_predict(repeats: int, reuse: bool, label: str) -> dict:
+    """Loop vs sample-major predict timings on one engine config."""
+    import numpy as np
+
+    from repro.core.cim_mc_dropout import CIMMCDropoutEngine
+    from repro.sram.macro import MacroConfig
+
+    cfg = _ENGINE_BENCH
+    x = np.random.default_rng(4).normal(size=(cfg["batch"], cfg["n_inputs"]))
+
+    def build(fast_path: bool) -> CIMMCDropoutEngine:
+        return CIMMCDropoutEngine(
+            _engine_bench_model(),
+            MacroConfig(),
+            n_iterations=cfg["n_iterations"],
+            use_hardware_rng=False,
+            reuse=reuse,
+            ordering=False,
+            fast_path=fast_path,
+            rng=np.random.default_rng(7),
+        )
+
+    loop_engine, fast_engine = build(False), build(True)
+    streams = loop_engine.draw_mask_streams(np.random.default_rng(3))
+    order = np.arange(cfg["n_iterations"])
+
+    def run(engine):
+        return engine.predict(
+            x, rng=np.random.default_rng(5), mask_streams=streams, mask_order=order
+        )
+
+    reference, fast = run(loop_engine), run(fast_engine)  # warm-up + parity
+    max_abs_diff = float(np.max(np.abs(reference.samples - fast.samples)))
+    timings = {}
+    for name, engine in (("loop", loop_engine), ("fast", fast_engine)):
+        laps = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run(engine)
+            laps.append(time.perf_counter() - start)
+        timings[name] = min(laps)
+    return {
+        "case": label,
+        "reuse": reuse,
+        **cfg,
+        "repeats": repeats,
+        "loop_s": timings["loop"],
+        "fast_s": timings["fast"],
+        "speedup": timings["loop"] / timings["fast"] if timings["fast"] > 0 else None,
+        "max_abs_diff": max_abs_diff,
+        "ops_executed": fast.ops_executed,
+        "ops_naive": fast.ops_naive,
+    }
+
+
+def _bench_macro_matvec(repeats: int) -> dict:
+    """matvec loop vs fused matvec_many on one macro."""
+    import numpy as np
+
+    from repro.sram.macro import MacroConfig, SRAMCIMMacro
+
+    cfg = _ENGINE_BENCH
+    n_stacked, batch = cfg["n_iterations"], cfg["batch"]
+    weight = np.random.default_rng(0).normal(size=(64, 32))
+    macro = SRAMCIMMacro(weight, MacroConfig(), rng=np.random.default_rng(1))
+    x = np.random.default_rng(2).normal(size=(n_stacked, batch, 64))
+    macro.matvec(x[0], rng=np.random.default_rng(0))  # pin the DAC spec
+    timings = {}
+    for name in ("loop", "fused"):
+        laps = []
+        for _ in range(repeats):
+            rng = np.random.default_rng(5)
+            start = time.perf_counter()
+            if name == "loop":
+                for t in range(n_stacked):
+                    macro.matvec(x[t], rng=rng)
+            else:
+                macro.matvec_many(x, rng=rng)
+            laps.append(time.perf_counter() - start)
+        timings[name] = min(laps)
+    return {
+        "case": "macro-matvec_many",
+        "in_features": 64,
+        "out_features": 32,
+        "n_stacked": n_stacked,
+        "batch": batch,
+        "repeats": repeats,
+        "loop_s": timings["loop"],
+        "fast_s": timings["fused"],
+        "speedup": timings["loop"] / timings["fused"] if timings["fused"] > 0 else None,
+    }
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     ids = [eid.upper() for eid in (args.ids or list(_BENCH_CONFIGS))]
     benchmarks = []
@@ -292,6 +419,35 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
+
+    reference = _bench_engine_predict(
+        args.repeats, reuse=False, label="engine-predict-no-reuse"
+    )
+    reuse_case = _bench_engine_predict(
+        args.repeats, reuse=True, label="engine-predict-reuse-refresh"
+    )
+    macro = _bench_macro_matvec(args.repeats)
+    for entry in (reference, reuse_case, macro):
+        print(
+            f"  {entry['case']}: loop={entry['loop_s']:.4f}s "
+            f"fast={entry['fast_s']:.4f}s speedup={entry['speedup']:.2f}x"
+        )
+    engine_payload = {
+        "version": __version__,
+        "reference": reference,
+        "cases": [reference, reuse_case, macro],
+    }
+    engine_out = Path(args.engine_out)
+    engine_out.parent.mkdir(parents=True, exist_ok=True)
+    engine_out.write_text(json.dumps(engine_payload, indent=2) + "\n")
+    print(f"wrote {engine_out}")
+    if reference["speedup"] is not None and reference["speedup"] < 1.0:
+        print(
+            "error: engine fast path slower than the loop path at the "
+            f"reference config ({reference['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -364,8 +520,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = sub.add_parser(
         "bench",
-        help="time the quick experiment configs and the batched-session "
-        "path; writes BENCH_runtime.json",
+        help="time the quick experiment configs, the batched-session path "
+        "(BENCH_runtime.json) and the engine loop-vs-fast paths "
+        "(BENCH_engine.json)",
     )
     bench_parser.add_argument(
         "--ids",
@@ -377,6 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--repeats", type=int, default=3, metavar="N")
     bench_parser.add_argument(
         "--out", default="BENCH_runtime.json", metavar="PATH"
+    )
+    bench_parser.add_argument(
+        "--engine-out",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="engine/macro loop-vs-fast timing output "
+        "(exit 1 if the fast path is slower at the reference config)",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
     return parser

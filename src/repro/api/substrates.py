@@ -359,13 +359,13 @@ class MCDropoutSession:
         rng = rng if rng is not None else self._rng
         if isinstance(self.engine, CIMMCDropoutEngine):
             generator = self.engine.bit_generator
-            energy_before = (
-                generator.generation_energy() if generator is not None else 0.0
-            )
+            cycles_before = generator.cycles_used if generator is not None else 0
             streams = self.engine.draw_mask_streams(rng)
             order = self.engine.order_mask_streams(streams)
             energy = (
-                generator.generation_energy() - energy_before
+                generator.generation_energy(
+                    cycles=generator.cycles_used - cycles_before
+                )
                 if generator is not None
                 else 0.0
             )
@@ -392,7 +392,8 @@ class MCDropoutSession:
         """
         x = np.atleast_2d(np.asarray(inputs, dtype=float))
         if isinstance(self.engine, CIMMCDropoutEngine):
-            self.engine.reset_energy()
+            # predict() scopes the macro ledgers itself, so the result is
+            # strictly per-call without resetting engine state here.
             result = self.engine.predict(
                 x,
                 rng=rng,
@@ -579,8 +580,10 @@ class LocalizationSession:
         what a freshly initialised session running only that sequence
         with ``rng.spawn(n)[i]`` would estimate -- the expensive map
         programming and array calibration are done once for the whole
-        batch.  The likelihood-backend energy ledger is reset per item,
-        so each result's energy covers its own sequence only.
+        batch.  The localizer scopes the likelihood-backend ledger per
+        run, so each result's energy covers its own sequence only (this
+        also holds for tiled backends, whose merged ledger view the old
+        per-item ``reset()`` could not clear).
         """
         items = list(inputs)
         rng = rng if rng is not None else np.random.default_rng(0)
@@ -592,7 +595,6 @@ class LocalizationSession:
         for item, item_rng in zip(items, item_rngs):
             pf.particles = initial_particles
             pf.history = list(initial_history)
-            self.localizer.field_backend.ledger.reset()
             results.append(self.run(item, rng=item_rng))
         return BatchResult(
             substrate=self.substrate.name,

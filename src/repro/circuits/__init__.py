@@ -29,7 +29,7 @@ from repro.circuits.adc import LinearADC, LogarithmicADC
 from repro.circuits.dac import DAC
 from repro.circuits.noise import NoiseModel
 from repro.circuits.variability import MismatchSampler
-from repro.circuits.energy import EnergyLedger
+from repro.circuits.energy import EnergyLedger, LedgerSnapshot
 
 __all__ = [
     "TechnologyNode",
@@ -50,4 +50,5 @@ __all__ = [
     "NoiseModel",
     "MismatchSampler",
     "EnergyLedger",
+    "LedgerSnapshot",
 ]

@@ -4,11 +4,40 @@ Every substrate reports its work into an :class:`EnergyLedger` -- a named
 multiset of (operation, count, energy) entries.  Experiment drivers merge
 ledgers and print comparison tables; nothing in the package computes energy
 as a side effect you cannot audit.
+
+Ledgers are *cumulative* by design (a macro's ledger is its lifetime
+odometer).  Callers that need strictly per-call figures scope a region,
+in one of two ways:
+
+- **Scoped child ledgers** -- :meth:`EnergyLedger.begin_scope` attaches a
+  fresh child that receives a copy of every entry recorded until
+  :meth:`EnergyLedger.end_scope`.  The child accumulates from zero, so
+  two identical scoped regions yield bit-identical energies (no
+  floating-point residue from differencing large cumulative totals).
+  This is what the CIM MC-Dropout engine uses per ``predict()``.
+- **Snapshot/diff** -- :meth:`EnergyLedger.snapshot` +
+  :meth:`EnergyLedger.since` work on plain data, so they also scope
+  ledger *views* that are rebuilt per access (e.g. the tiled array's
+  merged ledger), at the cost of float-subtraction rounding::
+
+      mark = backend.ledger.snapshot()
+      ...queries...
+      per_run = backend.ledger.since(mark)
+
+Either way nobody has to ``reset()`` shared state between calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LedgerSnapshot:
+    """Point-in-time copy of a ledger's tallies (see ``EnergyLedger.snapshot``)."""
+
+    counts: dict[str, int]
+    energies: dict[str, float]
 
 
 @dataclass
@@ -22,6 +51,13 @@ class EnergyLedger:
     label: str = "ledger"
     _counts: dict[str, int] = field(default_factory=dict)
     _energies: dict[str, float] = field(default_factory=dict)
+    _scopes: list["EnergyLedger"] = field(default_factory=list, repr=False)
+
+    def _apply(self, operation: str, count: int, energy_j: float) -> None:
+        self._counts[operation] = self._counts.get(operation, 0) + count
+        self._energies[operation] = self._energies.get(operation, 0.0) + energy_j
+        for scope in self._scopes:
+            scope._apply(operation, count, energy_j)
 
     def add(self, operation: str, count: int, energy_per_op_j: float) -> None:
         """Record ``count`` occurrences of ``operation``."""
@@ -29,17 +65,32 @@ class EnergyLedger:
             raise ValueError("count must be non-negative")
         if energy_per_op_j < 0:
             raise ValueError("energy must be non-negative")
-        self._counts[operation] = self._counts.get(operation, 0) + int(count)
-        self._energies[operation] = (
-            self._energies.get(operation, 0.0) + count * energy_per_op_j
-        )
+        self._apply(operation, int(count), count * energy_per_op_j)
 
     def add_energy(self, operation: str, total_energy_j: float, count: int = 1) -> None:
         """Record a pre-totalled energy contribution."""
         if total_energy_j < 0:
             raise ValueError("energy must be non-negative")
-        self._counts[operation] = self._counts.get(operation, 0) + int(count)
-        self._energies[operation] = self._energies.get(operation, 0.0) + total_energy_j
+        self._apply(operation, int(count), total_energy_j)
+
+    def begin_scope(self, label: str | None = None) -> "EnergyLedger":
+        """Attach and return a child ledger mirroring entries from now on.
+
+        The child starts from zero and receives every subsequent entry
+        (adds and merges) until :meth:`end_scope`, giving exact per-scope
+        totals.  Scopes nest; each is independent.
+        """
+        child = EnergyLedger(label=label if label is not None else self.label)
+        self._scopes.append(child)
+        return child
+
+    def end_scope(self, child: "EnergyLedger") -> "EnergyLedger":
+        """Detach a scope opened with :meth:`begin_scope`; returns it."""
+        try:
+            self._scopes.remove(child)
+        except ValueError:
+            raise ValueError("ledger scope is not active") from None
+        return child
 
     @property
     def operations(self) -> list[str]:
@@ -60,10 +111,7 @@ class EnergyLedger:
     def merge(self, other: "EnergyLedger") -> "EnergyLedger":
         """Fold another ledger's entries into this one (returns self)."""
         for operation in other.operations:
-            self._counts[operation] = self._counts.get(operation, 0) + other.count(operation)
-            self._energies[operation] = self._energies.get(operation, 0.0) + other.energy(
-                operation
-            )
+            self._apply(operation, other.count(operation), other.energy(operation))
         return self
 
     def scaled(self, factor: float) -> "EnergyLedger":
@@ -74,6 +122,31 @@ class EnergyLedger:
         for operation in self.operations:
             result._counts[operation] = int(round(self.count(operation) * factor))
             result._energies[operation] = self.energy(operation) * factor
+        return result
+
+    def snapshot(self) -> "LedgerSnapshot":
+        """An immutable point-in-time mark for :meth:`since` scoping."""
+        return LedgerSnapshot(
+            counts=dict(self._counts), energies=dict(self._energies)
+        )
+
+    def since(self, mark: "LedgerSnapshot") -> "EnergyLedger":
+        """A new ledger holding only the work recorded after ``mark``.
+
+        Differences are clamped at zero, so a ``reset()`` inside the
+        scoped region degrades to "whatever accumulated since the reset"
+        instead of going negative.
+        """
+        result = EnergyLedger(label=self.label)
+        for operation, count in self._counts.items():
+            delta_count = count - mark.counts.get(operation, 0)
+            delta_energy = self._energies.get(operation, 0.0) - mark.energies.get(
+                operation, 0.0
+            )
+            if delta_count <= 0 and delta_energy <= 0.0:
+                continue
+            result._counts[operation] = max(0, delta_count)
+            result._energies[operation] = max(0.0, delta_energy)
         return result
 
     def reset(self) -> None:

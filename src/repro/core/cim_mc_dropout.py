@@ -40,13 +40,19 @@ _ACTIVATIONS = (ReLU, LeakyReLU, Tanh, Sigmoid)
 class MCDropoutResult:
     """Outcome of a CIM MC-Dropout inference.
 
+    All figures are strictly **per call**: the engine collects each
+    call's work in scoped child ledgers (exact -- no float residue from
+    differencing cumulative totals), so calling :meth:`predict`
+    repeatedly on one engine returns the same ops/energy every time (the
+    macros' own ledgers keep accumulating as lifetime odometers).
+
     Attributes:
         mean: (B, out) predictive mean.
         variance: (B, out) predictive variance.
         samples: (T, B, out) per-iteration outputs.
-        ops_executed: MACs the macros actually performed.
+        ops_executed: MACs the macros performed during this call.
         ops_naive: MACs of a reuse-free, mask-oblivious engine.
-        energy: merged energy ledger (macros + mask generation).
+        energy: this call's energy ledger (macros + mask generation).
         mask_order: the iteration order used.
     """
 
@@ -105,9 +111,16 @@ class CIMMCDropoutEngine:
             error accumulation); 0 disables refresh.
         calibrate_rng: run the CCI bias-trim calibration before use.
         calibration_inputs: representative inputs (e.g. training features)
-            used to size each macro's column-ADC range layer by layer;
-            without them a weight-statistics heuristic is used, which can
-            clip hard on out-of-distribution activations.
+            used to size each macro's column-ADC range and pin its
+            input-DAC range layer by layer; without them a
+            weight-statistics heuristic sizes the ADC and the DAC range is
+            pinned from the first driven input, either of which can clip
+            hard on out-of-distribution activations.
+        fast_path: evaluate independent iterations sample-major through
+            :meth:`~repro.sram.macro.SRAMCIMMacro.matvec_many` (all of
+            them when ``reuse`` is off, the refresh iterations otherwise).
+            Results and accounting are identical to the per-iteration
+            loop; disable only to time or cross-check the loop path.
         rng: generator for hardware instantiation and noise.
     """
 
@@ -122,6 +135,7 @@ class CIMMCDropoutEngine:
         refresh_every: int = 8,
         calibrate_rng: bool = True,
         calibration_inputs: np.ndarray | None = None,
+        fast_path: bool = True,
         rng: np.random.Generator | None = None,
     ):
         if n_iterations < 1:
@@ -131,11 +145,12 @@ class CIMMCDropoutEngine:
         self.reuse = bool(reuse)
         self.ordering = bool(ordering)
         self.refresh_every = int(refresh_every)
+        self.fast_path = bool(fast_path)
         self._rng = rng or np.random.default_rng(0)
         self.layers = self._map_model(model)
+        self.keep_probability = self._keep_probability(model)
         if calibration_inputs is not None:
             self.calibrate_adc_ranges(calibration_inputs)
-        self.keep_probability = self._keep_probability(model)
         self.use_hardware_rng = bool(use_hardware_rng)
         if use_hardware_rng:
             self.rng_cell = CrossCoupledInverterRNG(
@@ -199,10 +214,18 @@ class CIMMCDropoutEngine:
         return mapped
 
     def calibrate_adc_ranges(self, inputs: np.ndarray) -> None:
-        """Size every macro's ADC range from propagated sample activations."""
+        """Size every macro's ADC + DAC ranges from propagated activations.
+
+        Layers fed through dropout see inputs scaled by ``1 / keep_prob``
+        at run time (inverted dropout), so their DAC range gets that much
+        headroom over the calibration sample.
+        """
         current = np.atleast_2d(np.asarray(inputs, dtype=float))
         for layer in self.layers:
-            layer.macro.recalibrate(current)
+            headroom = (
+                1.0 / self.keep_probability if layer.pre_dropout_p > 0 else 1.0
+            )
+            layer.macro.recalibrate(current, input_headroom=headroom)
             pre = layer.macro.ideal_matvec(current)
             if layer.bias is not None:
                 pre = pre + layer.bias
@@ -250,6 +273,11 @@ class CIMMCDropoutEngine:
             if stream is None:
                 continue
             joint = stream if joint is None else joint.concatenate(stream)
+        if joint is None:
+            raise ValueError(
+                "cannot order mask streams: every stream is None (the "
+                "mapped model must have at least one dropout stage)"
+            )
         return optimal_mask_order(joint.masks)
 
     def _validate_streams(
@@ -260,6 +288,13 @@ class CIMMCDropoutEngine:
             raise ValueError(
                 f"need {len(self.layers)} mask streams (one per mapped "
                 f"layer, None where no dropout), got {len(streams)}"
+            )
+        if all(stream is None for stream in streams):
+            # Mirror draw_mask_streams: a mapped model always has dropout,
+            # so an all-None pin is a caller bug, not a degenerate run.
+            raise ValueError(
+                "mask_streams are all None; pin at least one stream (the "
+                "mapped model has dropout stages)"
             )
         for stream, layer in zip(streams, self.layers):
             if stream is None:
@@ -285,6 +320,11 @@ class CIMMCDropoutEngine:
     ) -> MCDropoutResult:
         """MC-Dropout inference of (B, in) inputs on the macro stack.
 
+        The returned ops/energy cover **this call only** -- scoped child
+        ledgers collect the call's work exactly, so repeated calls on one
+        engine report identical per-call figures without any
+        ``reset_energy()`` bookkeeping by the caller.
+
         Args:
             x: (B, in) inputs.
             rng: generator for mask drawing and analog read noise.
@@ -295,6 +335,9 @@ class CIMMCDropoutEngine:
         """
         rng = rng or self._rng
         x = np.atleast_2d(np.asarray(x, dtype=float))
+        cycles_mark = (
+            self.bit_generator.cycles_used if self.bit_generator is not None else 0
+        )
         if mask_streams is None:
             streams = self.draw_mask_streams(rng)
         else:
@@ -307,60 +350,40 @@ class CIMMCDropoutEngine:
                 raise ValueError("mask_order must be a permutation of iterations")
         ordered = [None if s is None else s.reordered(order) for s in streams]
 
-        batch = x.shape[0]
-        samples = np.empty((self.n_iterations, batch, self.layers[-1].macro.out_features))
-        # Per-layer reuse state: previous products and previous masked input.
-        previous_products: list[np.ndarray | None] = [None] * len(self.layers)
-        previous_inputs: list[np.ndarray | None] = [None] * len(self.layers)
+        # Scoped child ledgers collect exactly this call's macro work;
+        # the macros' cumulative ledgers keep running undisturbed.
+        scopes = [layer.macro.ledger.begin_scope() for layer in self.layers]
+        try:
+            batch = x.shape[0]
+            noise_bank = self._draw_noise_bank(rng, batch)
+            refresh_steps = self._refresh_steps()
+            if self.fast_path and len(refresh_steps) == self.n_iterations:
+                samples, _, _ = self._forward_stacked(
+                    x, ordered, refresh_steps, noise_bank, rng
+                )
+            else:
+                samples = self._forward_loop(
+                    x, ordered, refresh_steps, noise_bank, rng
+                )
+        finally:
+            for layer, scope in zip(self.layers, scopes):
+                layer.macro.ledger.end_scope(scope)
+
         ops_naive = 0
         for layer in self.layers:
             ops_naive += layer.macro.in_features * layer.macro.out_features
         ops_naive *= self.n_iterations * batch
 
-        for t in range(self.n_iterations):
-            refresh = (
-                not self.reuse
-                or t == 0
-                or (self.refresh_every > 0 and t % self.refresh_every == 0)
-            )
-            activation = x
-            for index, layer in enumerate(self.layers):
-                stream = ordered[index]
-                if stream is not None:
-                    keep = stream.masks[t].astype(float)
-                    masked = activation * keep[None, :] / self.keep_probability
-                else:
-                    masked = activation
-                if refresh or previous_products[index] is None:
-                    # Passing the mask lets the macro gate (and not pay for)
-                    # dropped column lines, as the CL AND gates do.
-                    products = layer.macro.matvec(
-                        masked,
-                        input_mask=None if stream is None else stream.masks[t],
-                        rng=rng,
-                    )
-                else:
-                    delta = masked - previous_inputs[index]
-                    changed = np.any(np.abs(delta) > 0, axis=0)
-                    products = layer.macro.matvec_delta(
-                        previous_products[index], delta, changed, rng=rng
-                    )
-                previous_products[index] = products
-                previous_inputs[index] = masked
-                pre = products if layer.bias is None else products + layer.bias
-                activation = (
-                    layer.activation.forward(pre) if layer.activation else pre
-                )
-            samples[t] = activation
-
         energy = EnergyLedger(label="cim-mc-dropout")
-        ops_executed = 0
-        for layer in self.layers:
-            energy.merge(layer.macro.ledger)
-            ops_executed += layer.macro.ops_count()
+        for scope in scopes:
+            energy.merge(scope)
+        ops_executed = energy.count("cim_mac")
         if self.bit_generator is not None:
             energy.add_energy(
-                "dropout_bit_generation", self.bit_generator.generation_energy()
+                "dropout_bit_generation",
+                self.bit_generator.generation_energy(
+                    cycles=self.bit_generator.cycles_used - cycles_mark
+                ),
             )
         return MCDropoutResult(
             mean=samples.mean(axis=0),
@@ -372,8 +395,176 @@ class CIMMCDropoutEngine:
             mask_order=order,
         )
 
+    def _refresh_steps(self) -> np.ndarray:
+        """Iteration positions evaluated from scratch (not via the delta port)."""
+        steps = np.arange(self.n_iterations, dtype=np.int64)
+        if not self.reuse:
+            return steps
+        refresh = steps == 0
+        if self.refresh_every > 0:
+            refresh |= steps % self.refresh_every == 0
+        return steps[refresh]
+
+    def _draw_noise_bank(
+        self, rng: np.random.Generator, batch: int
+    ) -> list[np.ndarray] | None:
+        """Pre-draw every read-noise variate, indexed by (iteration, layer).
+
+        One flat draw in loop order (iteration-major, layer-inner) yields
+        exactly the variates T x L sequential per-read draws would, but
+        lets the engine evaluate iterations out of order -- vectorised
+        refresh passes and the delta loop consume the same noise a pure
+        loop would, keeping both schedules bit-for-bit equivalent.
+        """
+        if self.config.adc_noise_lsb <= 0:
+            return None
+        out_features = [layer.macro.out_features for layer in self.layers]
+        width = batch * sum(out_features)
+        flat = rng.normal(size=self.n_iterations * width).reshape(
+            self.n_iterations, width
+        )
+        bank: list[np.ndarray] = []
+        offset = 0
+        for out in out_features:
+            block = flat[:, offset : offset + batch * out]
+            bank.append(block.reshape(self.n_iterations, batch, out))
+            offset += batch * out
+        return bank
+
+    def _forward_stacked(
+        self,
+        x: np.ndarray,
+        ordered: list[MaskStream | None],
+        steps: np.ndarray,
+        noise_bank: list[np.ndarray] | None,
+        rng: np.random.Generator,
+        collect: bool = False,
+    ) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
+        """Sample-major evaluation of independent iterations.
+
+        Every iteration in ``steps`` is a from-scratch forward pass, so
+        the whole subset runs through each macro as one stacked
+        :meth:`~repro.sram.macro.SRAMCIMMacro.matvec_many` call.
+
+        Returns:
+            (outputs, masked_inputs, products): outputs is the
+            final-layer activation stack; with ``collect`` the other two
+            are per-layer lists of (len(steps), B, features) arrays that
+            seed the delta loop's reuse state at refresh positions
+            (empty lists otherwise, sparing the all-refresh hot path the
+            extra live working set).
+        """
+        activation = np.broadcast_to(
+            x, (len(steps), x.shape[0], x.shape[1])
+        )
+        masked_inputs: list[np.ndarray] = []
+        products_stack: list[np.ndarray] = []
+        for index, layer in enumerate(self.layers):
+            stream = ordered[index]
+            if stream is not None:
+                keep = stream.masks[steps].astype(float)
+                masked = activation * keep[:, None, :] / self.keep_probability
+                input_masks = stream.masks[steps]
+            else:
+                masked = np.ascontiguousarray(activation)
+                input_masks = None
+            noise = None if noise_bank is None else noise_bank[index][steps]
+            products = layer.macro.matvec_many(
+                masked, input_masks=input_masks, rng=rng, noise=noise
+            )
+            if collect:
+                masked_inputs.append(masked)
+                products_stack.append(products)
+            pre = products if layer.bias is None else products + layer.bias
+            activation = (
+                layer.activation.forward(pre) if layer.activation else pre
+            )
+        return activation, masked_inputs, products_stack
+
+    def _forward_loop(
+        self,
+        x: np.ndarray,
+        ordered: list[MaskStream | None],
+        refresh_steps: np.ndarray,
+        noise_bank: list[np.ndarray] | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Per-iteration loop; refresh iterations may be hoisted stacked.
+
+        Under reuse, from-scratch (refresh) iterations are independent of
+        the delta chain, so with the fast path enabled they are evaluated
+        sample-major up front and their products injected into the reuse
+        state as the loop passes them; delta iterations stay sequential.
+        The pre-drawn noise bank makes either schedule consume identical
+        variates, so hoisting does not change a single output bit.
+        """
+        batch = x.shape[0]
+        samples = np.empty(
+            (self.n_iterations, batch, self.layers[-1].macro.out_features)
+        )
+        hoisted: dict[int, int] = {}
+        stacked_out = stacked_inputs = stacked_products = None
+        if self.fast_path and len(refresh_steps) > 1:
+            stacked_out, stacked_inputs, stacked_products = self._forward_stacked(
+                x, ordered, refresh_steps, noise_bank, rng, collect=True
+            )
+            hoisted = {int(t): i for i, t in enumerate(refresh_steps)}
+        refresh_set = set(int(t) for t in refresh_steps)
+        previous_products: list[np.ndarray | None] = [None] * len(self.layers)
+        previous_inputs: list[np.ndarray | None] = [None] * len(self.layers)
+        for t in range(self.n_iterations):
+            if t in hoisted:
+                i = hoisted[t]
+                for index in range(len(self.layers)):
+                    previous_products[index] = stacked_products[index][i]
+                    previous_inputs[index] = stacked_inputs[index][i]
+                samples[t] = stacked_out[i]
+                continue
+            refresh = t in refresh_set
+            activation = x
+            for index, layer in enumerate(self.layers):
+                stream = ordered[index]
+                if stream is not None:
+                    keep = stream.masks[t].astype(float)
+                    masked = activation * keep[None, :] / self.keep_probability
+                else:
+                    masked = activation
+                noise = None if noise_bank is None else noise_bank[index][t]
+                if refresh or previous_products[index] is None:
+                    # Passing the mask lets the macro gate (and not pay for)
+                    # dropped column lines, as the CL AND gates do.
+                    products = layer.macro.matvec(
+                        masked,
+                        input_mask=None if stream is None else stream.masks[t],
+                        rng=rng,
+                        noise=noise,
+                    )
+                else:
+                    delta = masked - previous_inputs[index]
+                    changed = np.any(np.abs(delta) > 0, axis=0)
+                    products = layer.macro.matvec_delta(
+                        previous_products[index],
+                        delta,
+                        changed,
+                        rng=rng,
+                        noise=noise,
+                    )
+                previous_products[index] = products
+                previous_inputs[index] = masked
+                pre = products if layer.bias is None else products + layer.bias
+                activation = (
+                    layer.activation.forward(pre) if layer.activation else pre
+                )
+            samples[t] = activation
+        return samples
+
     def reset_energy(self) -> None:
-        """Clear all macro ledgers (per-experiment accounting)."""
+        """Clear all macro ledgers and the RNG cycle counter.
+
+        Per-call results no longer require this (predict scopes the
+        ledgers itself); it remains for callers that inspect the
+        cumulative macro ledgers and want to re-baseline them.
+        """
         for layer in self.layers:
             layer.macro.ledger.reset()
         if self.bit_generator is not None:

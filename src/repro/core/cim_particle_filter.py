@@ -72,15 +72,22 @@ class LocalizationResult:
 
     @property
     def final_error(self) -> float:
+        """Last-step position error; NaN for an empty trajectory."""
+        if self.errors.size == 0:
+            return float("nan")
         return float(self.errors[-1])
 
     def converged_step(self, threshold: float = 0.5) -> int | None:
-        """First step whose error drops (and stays) below ``threshold``."""
-        below = self.errors < threshold
-        for t in range(len(below)):
-            if below[t:].all():
-                return t
-        return None
+        """First step whose error drops (and stays) below ``threshold``.
+
+        Vectorised suffix check: the run has converged from one past the
+        last above-threshold step, provided anything follows it.
+        """
+        below = np.asarray(self.errors) < threshold
+        if below.size == 0 or not below[-1]:
+            return None
+        above = np.flatnonzero(~below)
+        return 0 if above.size == 0 else int(above[-1]) + 1
 
     def summary_row(self) -> dict:
         """Flat report row: accuracy figures plus per-query energy."""
@@ -90,11 +97,14 @@ class LocalizationResult:
             energy_per_query = self.energy.total_energy_j() / max(
                 self.energy.count("adc_conversion"), 1
             )
+        empty = errors.size == 0
         return {
             "backend": self.backend,
-            "initial_error_m": float(errors[0]),
-            "final_error_m": float(errors[-1]),
-            "steady_state_error_m": float(errors[len(errors) // 2 :].mean()),
+            "initial_error_m": float("nan") if empty else float(errors[0]),
+            "final_error_m": self.final_error,
+            "steady_state_error_m": (
+                float("nan") if empty else float(errors[len(errors) // 2 :].mean())
+            ),
             "energy_per_query": energy_per_query,
         }
 
@@ -301,11 +311,13 @@ class CIMParticleFilterLocalizer:
             rng: generator.
 
         Returns:
-            A :class:`LocalizationResult`.
+            A :class:`LocalizationResult` whose energy ledger covers this
+            sequence only (the backend's own ledger keeps accumulating).
         """
         controls = np.atleast_2d(np.asarray(controls, dtype=float))
         if controls.shape[0] != len(depths):
             raise ValueError("controls and depths length mismatch")
+        energy_mark = self.field_backend.ledger.snapshot()
         diagnostics = []
         for control, depth in zip(controls, depths):
             diagnostics.append(self.step(control, depth, rng))
@@ -315,7 +327,7 @@ class CIMParticleFilterLocalizer:
             estimates=estimates,
             errors=errors,
             diagnostics=diagnostics,
-            energy=self.field_backend.ledger,
+            energy=self.field_backend.ledger.since(energy_mark),
             backend=self.backend_name,
         )
 

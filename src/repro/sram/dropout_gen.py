@@ -79,6 +79,13 @@ class DropoutBitGenerator:
         )
         return input_masks, output_masks
 
-    def generation_energy(self, energy_per_cycle_j: float = 5.0e-15) -> float:
-        """Total mask-generation energy so far (J)."""
-        return self.cycles_used * energy_per_cycle_j
+    def generation_energy(
+        self, energy_per_cycle_j: float = 5.0e-15, cycles: int | None = None
+    ) -> float:
+        """Mask-generation energy (J) of ``cycles`` (default: all so far).
+
+        Callers metering a scoped region pass the region's cycle delta
+        (``cycles_used`` is an exact integer odometer), which avoids the
+        rounding residue of subtracting two cumulative energies.
+        """
+        return (self.cycles_used if cycles is None else cycles) * energy_per_cycle_j

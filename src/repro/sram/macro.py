@@ -52,7 +52,12 @@ class MacroConfig:
     def mac_energy(self) -> float:
         if self.weight_bits in self.mac_energy_j:
             return self.mac_energy_j[self.weight_bits]
-        nearest = min(self.mac_energy_j, key=lambda b: abs(b - self.weight_bits))
+        # Off-table precisions interpolate from the nearest tabulated one;
+        # ties break to the lower precision regardless of dict insertion
+        # order, so 5-bit always scales from the 4-bit entry.
+        nearest = min(
+            self.mac_energy_j, key=lambda b: (abs(b - self.weight_bits), b)
+        )
         return self.mac_energy_j[nearest] * (self.weight_bits / nearest)
 
 
@@ -96,6 +101,13 @@ class SRAMCIMMacro:
         self.ledger = EnergyLedger(
             label=f"sram-macro[{self.in_features}x{self.out_features}w{self.config.weight_bits}]"
         )
+        # Input-DAC range: pinned once (at calibration, or lazily from the
+        # first driven input) instead of being re-fit per matvec.  A fixed
+        # DAC range is what real column peripherals have, it removes the
+        # per-call QuantizationSpec refit from the hot path, and it makes
+        # the delta port quantise ``delta_x`` against the same grid as
+        # full reads instead of the delta's own (much smaller) range.
+        self.input_spec: QuantizationSpec | None = None
         # ADC full-scale calibration against the layer's product statistics.
         if calibration_inputs is not None:
             self.recalibrate(calibration_inputs)
@@ -110,30 +122,58 @@ class SRAMCIMMacro:
         self.adc_full_scale = self.config.adc_clip_sigma * scale
         self.adc_step = self.adc_full_scale / (2 ** (self.config.adc_bits - 1) - 1)
 
-    def recalibrate(self, calibration_inputs: np.ndarray) -> None:
+    def recalibrate(
+        self, calibration_inputs: np.ndarray, input_headroom: float = 1.0
+    ) -> None:
         """Re-size the column ADC range from representative activations.
 
         Standard macro bring-up practice: run sample inputs, set the ADC
         full scale so the observed partial-sum distribution fills the code
-        range without systematic clipping.
+        range without systematic clipping.  The input-DAC range is pinned
+        from the same sample; ``input_headroom`` widens it for runtime
+        scalings the sample does not carry (e.g. the ``1 / keep_prob``
+        inverted-dropout factor).
         """
+        if input_headroom <= 0:
+            raise ValueError("input_headroom must be positive")
         sample = np.atleast_2d(np.asarray(calibration_inputs, dtype=float))
         products = sample @ self.stored_weight
         self._set_adc_scale(float(products.std()) or 1.0)
+        self.pin_input_range(float(np.max(np.abs(sample))) * input_headroom)
+
+    def pin_input_range(self, max_abs: float) -> QuantizationSpec:
+        """Fix the input-DAC full scale to ``max_abs`` (returns the spec)."""
+        self.input_spec = QuantizationSpec(
+            bits=self.config.input_bits, max_value=max_abs if max_abs > 0 else 1.0
+        )
+        return self.input_spec
+
+    def _ensure_input_spec(self, x: np.ndarray) -> QuantizationSpec:
+        """The pinned DAC spec, pinning it from ``x`` on first use."""
+        if self.input_spec is None:
+            self.input_spec = QuantizationSpec.for_tensor(x, self.config.input_bits)
+        return self.input_spec
 
     def _read_columns(
         self,
         analog: np.ndarray,
         rng: np.random.Generator | None,
+        noise: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Apply gain mismatch, analog noise and ADC quantisation."""
+        """Apply gain mismatch, analog noise and ADC quantisation.
+
+        ``noise`` is an optional pre-drawn standard-normal array of
+        ``analog``'s shape; engines that vectorise over iterations draw
+        their noise up front (in loop order) and inject it here so the
+        fused path consumes the very same variates as the loop path.
+        """
         values = analog * self.column_gain
         if self.config.adc_noise_lsb > 0:
-            if rng is None:
-                raise ValueError("rng required for noisy macro reads")
-            values = values + rng.normal(size=values.shape) * (
-                self.config.adc_noise_lsb * self.adc_step
-            )
+            if noise is None:
+                if rng is None:
+                    raise ValueError("rng required for noisy macro reads")
+                noise = rng.normal(size=values.shape)
+            values = values + noise * (self.config.adc_noise_lsb * self.adc_step)
         clipped = np.clip(values, -self.adc_full_scale, self.adc_full_scale)
         return np.rint(clipped / self.adc_step) * self.adc_step
 
@@ -143,6 +183,7 @@ class SRAMCIMMacro:
         input_mask: np.ndarray | None = None,
         output_mask: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
+        noise: np.ndarray | None = None,
     ) -> np.ndarray:
         """Full macro evaluation: (B, in) -> (B, out).
 
@@ -152,6 +193,7 @@ class SRAMCIMMacro:
             output_mask: (out,) keep-mask gating row evaluation (RL
                 dropout); masked outputs read 0 and cost nothing.
             rng: generator for analog noise.
+            noise: pre-drawn (B, out) standard-normal read noise.
         """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         if x.shape[1] != self.in_features:
@@ -160,7 +202,7 @@ class SRAMCIMMacro:
             x = x * np.asarray(input_mask, dtype=float)[None, :]
         x_q = self._quantize_inputs(x)
         analog = x_q @ self.stored_weight
-        out = self._read_columns(analog, rng)
+        out = self._read_columns(analog, rng, noise=noise)
         active_in = (
             int(np.count_nonzero(input_mask))
             if input_mask is not None
@@ -183,8 +225,13 @@ class SRAMCIMMacro:
         changed: np.ndarray,
         output_mask: np.ndarray | None = None,
         rng: np.random.Generator | None = None,
+        noise: np.ndarray | None = None,
     ) -> np.ndarray:
         """Compute-reuse read: update products through changed columns only.
+
+        The change vector is quantised against the *pinned* input-DAC
+        spec -- the same grid full reads use -- so delta accumulation and
+        from-scratch evaluation agree to within read noise.
 
         Args:
             previous: (B, out) previously accumulated products.
@@ -193,6 +240,7 @@ class SRAMCIMMacro:
             changed: (in,) boolean mask of driven input lines.
             output_mask: (out,) keep-mask gating row evaluation.
             rng: generator for analog noise.
+            noise: pre-drawn (B, out) standard-normal read noise.
 
         Returns:
             (B, out) updated products.
@@ -213,15 +261,76 @@ class SRAMCIMMacro:
             return previous.copy()
         delta_q = self._quantize_inputs(delta_x[:, changed])
         analog = delta_q @ self.stored_weight[changed]
-        delta_read = self._read_columns(analog, rng)
+        delta_read = self._read_columns(analog, rng, noise=noise)
         out = previous + delta_read
         if output_mask is not None:
             out = out * np.asarray(output_mask, dtype=float)[None, :]
         self._account(previous.shape[0], n_changed, active_out)
         return out
 
+    def matvec_many(
+        self,
+        x: np.ndarray,
+        input_masks: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        noise: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Fused evaluation of T stacked input batches: (T, B, in) -> (T, B, out).
+
+        Equivalent to T :meth:`matvec` calls (one per leading slice) --
+        same quantisation grid, same read model, same energy accounting --
+        but with one quantise, one GEMM and one ADC pass over the whole
+        stack.  This is the sample-major fast path the MC-Dropout engine
+        drives when iterations are independent.
+
+        Args:
+            x: (T, B, in) stacked input activations.
+            input_masks: (T, in) per-slice keep-masks (CL dropout), or
+                None to drive every line.
+            rng: generator for analog noise; variates are drawn in one
+                C-order block, which matches T sequential per-slice draws.
+            noise: pre-drawn (T, B, out) standard-normal read noise.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3 or x.shape[2] != self.in_features:
+            raise ValueError(
+                f"expected (T, B, {self.in_features}) inputs, got {x.shape}"
+            )
+        n_stacked, batch = x.shape[0], x.shape[1]
+        if input_masks is not None:
+            input_masks = np.asarray(input_masks)
+            if input_masks.shape != (n_stacked, self.in_features):
+                raise ValueError(
+                    f"expected ({n_stacked}, {self.in_features}) input masks, "
+                    f"got {input_masks.shape}"
+                )
+            x = x * input_masks.astype(float)[:, None, :]
+        # Pin the DAC grid exactly as the first per-slice matvec would.
+        self._ensure_input_spec(x[0])
+        x_q = self._quantize_inputs(x)
+        analog = (
+            x_q.reshape(n_stacked * batch, self.in_features) @ self.stored_weight
+        ).reshape(n_stacked, batch, self.out_features)
+        out = self._read_columns(analog, rng, noise=noise)
+        if input_masks is not None:
+            active_in_total = int(np.count_nonzero(input_masks)) * batch
+        else:
+            active_in_total = n_stacked * batch * self.in_features
+        self.ledger.add(
+            "cim_mac", active_in_total * self.out_features, self.config.mac_energy()
+        )
+        self.ledger.add(
+            "column_adc",
+            n_stacked * batch * self.out_features,
+            self.config.node.adc_energy(self.config.adc_bits),
+        )
+        self.ledger.add(
+            "input_dac", active_in_total, self.config.node.dac_energy_j
+        )
+        return out
+
     def _quantize_inputs(self, x: np.ndarray) -> np.ndarray:
-        spec = QuantizationSpec.for_tensor(x, self.config.input_bits)
+        spec = self._ensure_input_spec(x)
         return dequantize(quantize(x, spec), spec)
 
     def _account(

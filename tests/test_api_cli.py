@@ -176,15 +176,34 @@ class TestReportCommand:
 
 
 class TestBenchCommand:
-    def test_bench_writes_runtime_json(self, tmp_path, capsys):
+    def test_bench_writes_runtime_and_engine_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_runtime.json"
-        assert main(["bench", "--ids", "E1", "--repeats", "1", "--out", str(out)]) == 0
+        engine_out = tmp_path / "BENCH_engine.json"
+        code = main(
+            [
+                "bench", "--ids", "E1", "--repeats", "1",
+                "--out", str(out), "--engine-out", str(engine_out),
+            ]
+        )
+        assert code in (0, 1)  # 1 only if the fast path times slower
         text = capsys.readouterr().out
         assert "run_batch" in text
+        assert "engine-predict-no-reuse" in text
         payload = json.loads(out.read_text())
         assert payload["benchmarks"][0]["experiment_id"] == "E1"
         assert payload["benchmarks"][0]["mean_s"] > 0
         assert payload["batch_session"]["batch_s"] > 0
+        engine_payload = json.loads(engine_out.read_text())
+        reference = engine_payload["reference"]
+        assert reference["case"] == "engine-predict-no-reuse"
+        assert reference["reuse"] is False
+        assert reference["loop_s"] > 0 and reference["fast_s"] > 0
+        assert reference["max_abs_diff"] == 0.0  # fast == loop, bit-for-bit
+        assert {c["case"] for c in engine_payload["cases"]} == {
+            "engine-predict-no-reuse",
+            "engine-predict-reuse-refresh",
+            "macro-matvec_many",
+        }
 
     def test_bench_unknown_id_friendly(self, capsys):
         assert main(["bench", "--ids", "E99"]) == 2

@@ -182,6 +182,32 @@ class TestMCDropoutParity:
         assert second.energy_j == pytest.approx(first.energy_j, rel=0.5)
         assert second.energy_j < 1.5 * first.energy_j
 
+    def test_per_call_metering_is_exact_with_pinned_rng(self, inputs):
+        # Now engine-native (ledger scoping), not a session-side reset:
+        # identical calls report identical ops/energy/derived ratios.
+        session = get_substrate("cim-ordered").mc_dropout_session(
+            make_model(), n_iterations=8, rng=np.random.default_rng(5)
+        )
+        first = session.run(inputs, rng=np.random.default_rng(21))
+        second = session.run(inputs, rng=np.random.default_rng(21))
+        assert second.ops_executed == first.ops_executed
+        assert second.energy_j == first.energy_j
+        assert second.reuse_savings == first.reuse_savings
+        assert second.extras["tops_per_watt"] == first.extras["tops_per_watt"]
+
+    def test_raw_engine_needs_no_reset_between_calls(self, inputs):
+        # Regression for the double-count bug: raw engine users (no
+        # session, no reset_energy) get per-call figures too.
+        engine = CIMMCDropoutEngine(
+            make_model(), MacroConfig(), n_iterations=8,
+            rng=np.random.default_rng(5),
+        )
+        first = engine.predict(inputs, rng=np.random.default_rng(3))
+        second = engine.predict(inputs, rng=np.random.default_rng(3))
+        assert second.ops_executed == first.ops_executed
+        assert second.energy.total_energy_j() == first.energy.total_energy_j()
+        assert second.reuse_savings == first.reuse_savings
+
 
 class TestLocalizationSession:
     @pytest.fixture(scope="class")
@@ -226,6 +252,29 @@ class TestLocalizationSession:
             rng=np.random.default_rng(9),
         )
         assert session.localizer.backend_name == "digital"
+
+    def test_localization_energy_is_per_run(self, world):
+        # The backend ledger accumulates across runs; each result's
+        # energy must cover its own sequence only.
+        session = get_substrate("cim").localization_session(
+            world.cloud,
+            world.camera,
+            camera_mount=world.mount,
+            n_components=8,
+            n_particles=40,
+            tiles=(1, 1, 1),
+            rng=np.random.default_rng(9),
+        )
+        inputs = (world.controls, world.depths, world.states)
+        session.initialize_tracking(
+            world.states[0] + 0.2, np.full(4, 0.3), np.random.default_rng(21)
+        )
+        batch = session.run_batch([inputs, inputs], rng=np.random.default_rng(7))
+        first, second = batch[0], batch[1]
+        assert second.energy_j == pytest.approx(first.energy_j, rel=0.2)
+        assert second.energy_j < 1.5 * first.energy_j
+        cumulative = session.localizer.field_backend.ledger.total_energy_j()
+        assert cumulative > 1.5 * first.energy_j  # odometer kept both runs
 
 
 class TestInferenceResultJSON:

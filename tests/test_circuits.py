@@ -282,6 +282,66 @@ class TestEnergyLedger:
         ledger.add("op", 1, 1e-12)
         assert "TOTAL" in ledger.table()
 
+    def test_scope_collects_only_scoped_region(self):
+        ledger = EnergyLedger()
+        ledger.add("op", 2, 1.0)
+        scope = ledger.begin_scope()
+        ledger.add("op", 3, 1.0)
+        ledger.add_energy("extra", 0.5)
+        ledger.end_scope(scope)
+        ledger.add("op", 7, 1.0)  # after end_scope: not mirrored
+        assert scope.count("op") == 3
+        assert scope.energy("extra") == 0.5
+        assert ledger.count("op") == 12  # cumulative undisturbed
+
+    def test_scopes_nest_independently(self):
+        ledger = EnergyLedger()
+        outer = ledger.begin_scope()
+        ledger.add("op", 1, 1.0)
+        inner = ledger.begin_scope()
+        ledger.add("op", 2, 1.0)
+        ledger.end_scope(inner)
+        ledger.end_scope(outer)
+        assert inner.count("op") == 2
+        assert outer.count("op") == 3
+
+    def test_scope_sees_merges(self):
+        ledger = EnergyLedger()
+        scope = ledger.begin_scope()
+        other = EnergyLedger()
+        other.add("op", 4, 2.0)
+        ledger.merge(other)
+        ledger.end_scope(scope)
+        assert scope.count("op") == 4
+        assert scope.energy("op") == pytest.approx(8.0)
+
+    def test_end_scope_rejects_foreign_child(self):
+        ledger = EnergyLedger()
+        with pytest.raises(ValueError, match="not active"):
+            ledger.end_scope(EnergyLedger())
+
+    def test_snapshot_since_diffs(self):
+        ledger = EnergyLedger(label="m")
+        ledger.add("op", 2, 1.0)
+        mark = ledger.snapshot()
+        ledger.add("op", 3, 1.0)
+        ledger.add("new", 1, 0.25)
+        diff = ledger.since(mark)
+        assert diff.count("op") == 3
+        assert diff.energy("op") == pytest.approx(3.0)
+        assert diff.count("new") == 1
+        assert diff.label == "m"
+        assert "untouched" not in diff.operations
+
+    def test_since_clamps_after_reset(self):
+        ledger = EnergyLedger()
+        ledger.add("op", 5, 1.0)
+        mark = ledger.snapshot()
+        ledger.reset()
+        ledger.add("op", 2, 1.0)
+        diff = ledger.since(mark)
+        assert diff.count("op") == 0  # clamped, never negative
+
 
 class TestInverterArray:
     @pytest.fixture(scope="class")

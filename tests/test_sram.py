@@ -238,3 +238,128 @@ class TestMacro:
     def test_weight_shape_validation(self, rng):
         with pytest.raises(ValueError):
             SRAMCIMMacro(np.zeros(5), rng=rng)
+
+
+class TestMacEnergyOffTable:
+    def test_exact_table_hit(self):
+        assert MacroConfig(weight_bits=6).mac_energy() == 2.6e-15
+
+    def test_off_table_scales_from_nearest(self):
+        # 7 bits ties between 6 and 8; the tie must break low (6).
+        assert MacroConfig(weight_bits=7).mac_energy() == pytest.approx(
+            2.6e-15 * 7 / 6
+        )
+
+    def test_tie_breaks_to_lower_precision(self):
+        # 5 bits is equidistant from 4 and 6 -> must pick 4.
+        assert MacroConfig(weight_bits=5).mac_energy() == pytest.approx(
+            1.6e-15 * 5 / 4
+        )
+
+    def test_independent_of_table_insertion_order(self):
+        # Regression: nearest-key selection used to follow dict insertion
+        # order on ties, so a reordered table changed the answer.
+        forward = MacroConfig(
+            weight_bits=5, mac_energy_j={4: 1.6e-15, 6: 2.6e-15, 8: 4.5e-15}
+        )
+        reverse = MacroConfig(
+            weight_bits=5, mac_energy_j={8: 4.5e-15, 6: 2.6e-15, 4: 1.6e-15}
+        )
+        assert forward.mac_energy() == reverse.mac_energy()
+
+
+class TestPinnedInputSpec:
+    def test_spec_pinned_on_first_drive(self, rng):
+        macro = SRAMCIMMacro(rng.normal(size=(16, 8)), rng=rng)
+        assert macro.input_spec is None
+        x = rng.normal(size=(2, 16))
+        macro.matvec(x, rng=rng)
+        spec = macro.input_spec
+        assert spec is not None
+        assert spec.max_value == pytest.approx(np.max(np.abs(x)))
+        macro.matvec(10.0 * x, rng=rng)  # later inputs do not re-fit the DAC
+        assert macro.input_spec is spec
+
+    def test_recalibrate_pins_with_headroom(self, rng):
+        macro = SRAMCIMMacro(rng.normal(size=(16, 8)), rng=rng)
+        sample = rng.normal(size=(32, 16))
+        macro.recalibrate(sample, input_headroom=2.0)
+        assert macro.input_spec.max_value == pytest.approx(
+            2.0 * np.max(np.abs(sample))
+        )
+        with pytest.raises(ValueError):
+            macro.recalibrate(sample, input_headroom=0.0)
+
+    def test_delta_port_uses_full_read_grid(self, rng):
+        # The delta used to be quantised against its own (small) range;
+        # now it shares the pinned DAC grid, so a delta read reconstructs
+        # the full read exactly in a noise-free, fine-ADC macro.
+        config = MacroConfig(adc_noise_lsb=0.0, adc_bits=14, input_bits=6)
+        macro = SRAMCIMMacro(
+            rng.normal(size=(12, 6)), config, rng=rng, gain_mismatch_sigma=0.0
+        )
+        spec = macro.pin_input_range(4.0)
+        x0 = rng.normal(size=(2, 12))
+        x1 = x0.copy()
+        x1[:, 5] += 2.0 * spec.scale  # an exact number of DAC steps
+        p0 = macro.matvec(x0, rng=rng)
+        changed = np.zeros(12, dtype=bool)
+        changed[5] = True
+        p1 = macro.matvec_delta(p0, x1 - x0, changed, rng=rng)
+        ref = macro.matvec(x1, rng=rng)
+        assert np.max(np.abs(p1 - ref)) <= macro.adc_step + 1e-12
+
+
+class TestMatvecMany:
+    def test_matches_sequential_matvec_bit_for_bit(self, rng):
+        weight = np.random.default_rng(0).normal(size=(20, 10))
+        fused = SRAMCIMMacro(weight, rng=np.random.default_rng(1))
+        looped = SRAMCIMMacro(weight, rng=np.random.default_rng(1))
+        x = rng.normal(size=(6, 3, 20))
+        masks = (rng.random((6, 20)) < 0.5).astype(np.uint8)
+        out_fused = fused.matvec_many(
+            x, input_masks=masks, rng=np.random.default_rng(2)
+        )
+        seq_rng = np.random.default_rng(2)
+        out_loop = np.stack(
+            [
+                looped.matvec(x[t], input_mask=masks[t], rng=seq_rng)
+                for t in range(6)
+            ]
+        )
+        assert np.array_equal(out_fused, out_loop)
+
+    def test_accounting_matches_sequential_calls(self, rng):
+        weight = np.random.default_rng(0).normal(size=(20, 10))
+        fused = SRAMCIMMacro(weight, rng=np.random.default_rng(1))
+        looped = SRAMCIMMacro(weight, rng=np.random.default_rng(1))
+        x = rng.normal(size=(5, 2, 20))
+        masks = (rng.random((5, 20)) < 0.7).astype(np.uint8)
+        fused.matvec_many(x, input_masks=masks, rng=rng)
+        for t in range(5):
+            looped.matvec(x[t], input_mask=masks[t], rng=rng)
+        for operation in ("cim_mac", "column_adc", "input_dac"):
+            assert fused.ledger.count(operation) == looped.ledger.count(operation)
+            assert fused.ledger.energy(operation) == pytest.approx(
+                looped.ledger.energy(operation), rel=1e-12
+            )
+
+    def test_accepts_predrawn_noise(self, rng):
+        weight = np.random.default_rng(0).normal(size=(8, 4))
+        macro = SRAMCIMMacro(weight, rng=np.random.default_rng(1))
+        x = rng.normal(size=(3, 2, 8))
+        noise = np.random.default_rng(9).normal(size=(3, 2, 4))
+        a = macro.matvec_many(x, noise=noise)
+        b = macro.matvec_many(x, noise=noise)
+        assert np.array_equal(a, b)
+
+    def test_shape_validation(self, rng):
+        macro = SRAMCIMMacro(rng.normal(size=(8, 4)), rng=rng)
+        with pytest.raises(ValueError, match="inputs"):
+            macro.matvec_many(rng.normal(size=(3, 2, 9)), rng=rng)
+        with pytest.raises(ValueError, match="input masks"):
+            macro.matvec_many(
+                rng.normal(size=(3, 2, 8)),
+                input_masks=np.ones((2, 8), dtype=np.uint8),
+                rng=rng,
+            )
