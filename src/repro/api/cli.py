@@ -9,10 +9,15 @@ Subcommands::
                              [--set key=value ...] [--workers N]
                              [--store DIR] [--json] [--out DIR]
     python -m repro report STORE [--json]
-    python -m repro bench [--ids E1 E5 ...] [--repeats N] [--out PATH]
+    python -m repro bench [--suite core|serve|all] [--ids E1 E5 ...]
+                          [--repeats N] [--out PATH]
+    python -m repro serve [--port 8000] [--substrates cim,digital]
+                          [--max-batch N] [--max-wait-ms MS] [--max-pending N]
 
 ``run`` executes experiments through :mod:`repro.api.registry` and prints
-metrics (or a machine-readable ``ExperimentResult`` with ``--json``).
+metrics (or a machine-readable ``ExperimentResult`` with ``--json``);
+failures of individual experiments are isolated -- the traceback is
+printed, the remaining experiments still run, and the command exits 1.
 ``sweep`` compiles the grid into a :class:`~repro.runtime.Plan` and runs
 it through the batch runtime -- ``--workers N`` fans the jobs out over a
 process pool (results identical to serial), ``--store DIR`` streams a
@@ -22,7 +27,11 @@ failing cell records an error row instead of aborting the grid.
 configs plus the batched-session path (``BENCH_runtime.json``) and the
 CIM engine's loop-vs-sample-major fast path plus the macro's fused
 ``matvec_many`` (``BENCH_engine.json``), exiting non-zero if the fast
-path is slower than the loop at the reference config.
+path is slower than the loop at the reference config; ``bench --suite
+serve`` times request serving (``BENCH_serve.json``), exiting non-zero
+if coalesced serving is not faster than sequential per-request serving.
+``serve`` stands up the :mod:`repro.serve` HTTP service on the built-in
+demo model.
 """
 
 from __future__ import annotations
@@ -102,27 +111,64 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api.registry import resolve_substrate
+
     ids = args.ids
     if ids == ["all"]:
         ids = [spec.id for spec in list_experiments()]
     overrides = _parse_overrides(args.set)
+    # Resolve ids / substrate / config up front so user errors stay
+    # friendly exit-2 rejections; only *execution* failures are isolated.
+    specs = [get_experiment(experiment_id) for experiment_id in ids]
+    for spec in specs:
+        resolve_substrate(spec, args.substrate)
+        spec.make_config(overrides, args.seed)
     results = []
-    for experiment_id in ids:
-        results.append(
-            run_experiment(
-                experiment_id,
-                seed=args.seed,
-                substrate=args.substrate,
-                overrides=overrides,
-                out_dir=args.out,
+    failed: list[str] = []
+    for spec in specs:
+        try:
+            results.append(
+                run_experiment(
+                    spec.id,
+                    seed=args.seed,
+                    substrate=args.substrate,
+                    overrides=overrides,
+                    out_dir=args.out,
+                )
             )
-        )
+        except Exception:
+            # One failing experiment must not abort the rest of the
+            # batch: print its traceback, keep running, fail at the end.
+            import traceback
+
+            traceback.print_exc(file=sys.stderr)
+            print(
+                f"error: experiment {spec.id} failed; continuing with the "
+                "remaining experiment(s)",
+                file=sys.stderr,
+            )
+            failed.append(spec.id)
     if args.json:
         payload = [r.to_dict() for r in results]
-        print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+        # Shape follows the *request*: one requested experiment prints a
+        # bare object, several always print a list, even when failures
+        # thinned the results -- consumers see a stable schema.
+        print(
+            json.dumps(
+                payload[0] if len(specs) == 1 and payload else payload,
+                indent=2,
+            )
+        )
     else:
         for result in results:
             _print_metrics(result)
+    if failed:
+        print(
+            f"error: {len(failed)} of {len(specs)} experiment(s) failed: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -381,7 +427,166 @@ def _bench_macro_matvec(repeats: int) -> dict:
     }
 
 
+# Reference config for the serving benchmark (BENCH_serve.json): the
+# demo model at MC depth 32, where drawing + Hamming-ordering the mask
+# streams is roughly half of each request's cost -- the share coalescing
+# amortises across every same-seed request in a micro-batch.
+_SERVE_BENCH = {
+    "substrate": "cim-ordered",
+    "n_requests": 16,
+    "n_iterations": 32,
+    "request_batch": 4,
+    "max_batch": 16,
+    "max_wait_ms": 30.0,
+}
+
+
+def _bench_serve(repeats: int) -> dict:
+    """Requests/sec: sequential session.run vs the coalescing service."""
+    import numpy as np
+
+    from repro.runtime import BatchPolicy, QueuePolicy
+    from repro.serve import (
+        InferenceRequest,
+        InferenceService,
+        build_reference_session,
+        reference_run,
+    )
+    from repro.serve.demo import demo_inputs, demo_model
+
+    cfg = _SERVE_BENCH
+    model = demo_model()
+    x = demo_inputs(batch=cfg["request_batch"])
+    requests = [
+        InferenceRequest(x, substrate=cfg["substrate"], seed=0)
+        for _ in range(cfg["n_requests"])
+    ]
+
+    # Sequential per-request serving: one warm session, a fresh mask
+    # plan drawn and pinned per request (the reference contract).
+    session = build_reference_session(
+        cfg["substrate"], model, n_iterations=cfg["n_iterations"]
+    )
+    reference = reference_run(session, x, 0)  # warm-up + parity anchor
+    direct_laps = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for request in requests:
+            reference_run(session, request.inputs, request.seed)
+        direct_laps.append(time.perf_counter() - start)
+
+    def service_laps(max_batch: int, max_wait_ms: float):
+        import asyncio
+
+        service = InferenceService(
+            model,
+            substrates=[cfg["substrate"]],
+            n_iterations=cfg["n_iterations"],
+            batch=BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms),
+            queue=QueuePolicy(max_pending=cfg["n_requests"]),
+        )
+
+        async def drive():
+            # Steady-state throughput: warm-up and lifecycle live outside
+            # the timed laps, like a long-running server.
+            async with service:
+                await asyncio.gather(
+                    *(service.submit(r) for r in requests[:1])
+                )
+                laps, responses = [], None
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    responses = await asyncio.gather(
+                        *(service.submit(r) for r in requests)
+                    )
+                    laps.append(time.perf_counter() - start)
+                return laps, list(responses)
+
+        return asyncio.run(drive())
+
+    batch1_laps, batch1 = service_laps(max_batch=1, max_wait_ms=0.0)
+    coalesced_laps, coalesced = service_laps(
+        cfg["max_batch"], cfg["max_wait_ms"]
+    )
+    # Full-reference parity on every served response (both modes): the
+    # values *and* the per-request metering must match the pinned-mask
+    # oracle exactly -- a metering bleed across coalesced requests is as
+    # much a failure as a wrong mean.
+    parity = max(
+        float(np.max(np.abs(resp.result.mean - reference.mean)))
+        for resp in batch1 + coalesced
+    )
+    metering_parity = all(
+        resp.result.energy_j == reference.energy_j
+        and resp.result.ops_executed == reference.ops_executed
+        and np.array_equal(resp.result.variance, reference.variance)
+        for resp in batch1 + coalesced
+    )
+    n = cfg["n_requests"]
+    direct_s, batch1_s, coalesced_s = (
+        min(direct_laps), min(batch1_laps), min(coalesced_laps)
+    )
+    return {
+        "case": "serve-coalescing",
+        **cfg,
+        "repeats": repeats,
+        "direct_s": direct_s,
+        "service_batch1_s": batch1_s,
+        "service_coalesced_s": coalesced_s,
+        "direct_rps": n / direct_s,
+        "service_batch1_rps": n / batch1_s,
+        "service_coalesced_rps": n / coalesced_s,
+        "speedup_vs_direct": direct_s / coalesced_s,
+        "speedup_vs_batch1": batch1_s / coalesced_s,
+        "mean_batch_size_coalesced": len(coalesced) and (
+            sum(r.batch_size for r in coalesced) / len(coalesced)
+        ),
+        "parity_max_abs_diff": parity,
+        "parity_metering_exact": metering_parity,
+    }
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    entry = _bench_serve(args.repeats)
+    print(
+        f"  {entry['case']}: direct={entry['direct_rps']:.1f} req/s "
+        f"batch1={entry['service_batch1_rps']:.1f} req/s "
+        f"coalesced={entry['service_coalesced_rps']:.1f} req/s "
+        f"({entry['speedup_vs_direct']:.2f}x vs direct)"
+    )
+    payload = {"version": __version__, "serve": entry}
+    out = Path(args.serve_out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    if entry["parity_max_abs_diff"] != 0.0 or not entry["parity_metering_exact"]:
+        print(
+            "error: served responses diverged from the pinned-mask "
+            f"reference (max |mean diff| {entry['parity_max_abs_diff']}, "
+            f"metering exact: {entry['parity_metering_exact']})",
+            file=sys.stderr,
+        )
+        return 1
+    if entry["speedup_vs_direct"] <= 1.0:
+        print(
+            "error: coalesced serving is not faster than sequential "
+            f"session.run() serving ({entry['speedup_vs_direct']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
+    codes = []
+    if args.suite in ("core", "all"):
+        codes.append(_run_core_bench(args))
+    if args.suite in ("serve", "all"):
+        codes.append(_run_serve_bench(args))
+    return max(codes)
+
+
+def _run_core_bench(args: argparse.Namespace) -> int:
     ids = [eid.upper() for eid in (args.ids or list(_BENCH_CONFIGS))]
     benchmarks = []
     for experiment_id in ids:
@@ -448,6 +653,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime import BatchPolicy, QueuePolicy
+    from repro.serve import InferenceService
+    from repro.serve.demo import demo_model
+    from repro.serve.http import serve_http
+
+    substrates = args.substrates.split(",") if args.substrates else None
+    service = InferenceService(
+        demo_model(args.model_seed),
+        substrates=substrates,
+        n_iterations=args.n_iterations,
+        batch=BatchPolicy(
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
+        ),
+        queue=QueuePolicy(max_pending=args.max_pending),
+        pool_size=args.pool_size,
+        session_seed=args.session_seed,
+    )
+    context = serve_http(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    try:
+        described = service.describe()
+        print(
+            f"serving {', '.join(described['substrates'])} on "
+            f"http://{args.host}:{context.port} "
+            f"(max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms}, "
+            f"max_pending={args.max_pending}, pool_size={args.pool_size})",
+            flush=True,
+        )
+        print("endpoints: POST /infer, GET /healthz, GET /stats", flush=True)
+        import threading
+
+        threading.Event().wait()  # block until interrupted
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        context.close()
     return 0
 
 
@@ -521,8 +767,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = sub.add_parser(
         "bench",
         help="time the quick experiment configs, the batched-session path "
-        "(BENCH_runtime.json) and the engine loop-vs-fast paths "
-        "(BENCH_engine.json)",
+        "(BENCH_runtime.json), the engine loop-vs-fast paths "
+        "(BENCH_engine.json) and, with --suite serve, the coalescing "
+        "service (BENCH_serve.json)",
+    )
+    bench_parser.add_argument(
+        "--suite",
+        choices=("core", "serve", "all"),
+        default="core",
+        help="core = experiment/engine benches (the historical default); "
+        "serve = request-serving throughput (exit 1 if coalescing is "
+        "not faster than sequential serving); all = both",
     )
     bench_parser.add_argument(
         "--ids",
@@ -542,7 +797,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine/macro loop-vs-fast timing output "
         "(exit 1 if the fast path is slower at the reference config)",
     )
+    bench_parser.add_argument(
+        "--serve-out",
+        default="BENCH_serve.json",
+        metavar="PATH",
+        help="serving-throughput output for --suite serve/all "
+        "(exit 1 if coalescing is not faster than sequential serving)",
+    )
     bench_parser.set_defaults(handler=_cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve MC-Dropout inference over HTTP "
+        "(/infer, /healthz, /stats) with dynamic micro-batching",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8000)
+    serve_parser.add_argument(
+        "--substrates",
+        default=None,
+        metavar="CSV",
+        help="comma-separated substrate names (default: all registered)",
+    )
+    serve_parser.add_argument(
+        "--n-iterations", type=int, default=16, metavar="T",
+        help="MC-Dropout depth of every served session",
+    )
+    serve_parser.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="largest micro-batch coalesced per dispatch (1 disables)",
+    )
+    serve_parser.add_argument(
+        "--max-wait-ms", type=float, default=5.0, metavar="MS",
+        help="longest an admitted request waits for batch company",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="bounded admission: beyond this, /infer rejects with 503",
+    )
+    serve_parser.add_argument(
+        "--pool-size", type=int, default=1, metavar="N",
+        help="pre-warmed sessions per (substrate, model) pair",
+    )
+    serve_parser.add_argument(
+        "--model-seed", type=int, default=0, metavar="N",
+        help="seed of the built-in demo model being served",
+    )
+    serve_parser.add_argument(
+        "--session-seed", type=int, default=0, metavar="N",
+        help="hardware-instantiation seed (part of the parity contract)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -11,6 +11,15 @@ Two dataclasses carry everything the stack produces:
 Both round-trip losslessly through JSON: numpy arrays are encoded as
 tagged ``{"__ndarray__": ..., "dtype": ..., "shape": ...}`` objects so
 ``from_json(to_json(x))`` restores dtype and shape exactly.
+
+Non-finite floats (``NaN``, ``Infinity``) survive the default round-trip
+because Python's ``json`` both emits and parses the bare tokens -- but
+those tokens are **not** valid JSON, so anything crossing a wire to
+non-Python clients (the :mod:`repro.serve` HTTP endpoint) uses the
+*strict* encoding instead: :func:`strict_dumps` replaces every
+non-finite float with a tagged ``{"__nonfinite__": "nan"|"inf"|"-inf"}``
+sentinel object and serialises with ``allow_nan=False``;
+:func:`strict_loads` restores the floats exactly.
 """
 
 from __future__ import annotations
@@ -80,6 +89,72 @@ def from_jsonable(obj: Any) -> Any:
     if isinstance(obj, list):
         return [from_jsonable(value) for value in obj]
     return obj
+
+
+_NONFINITE_TAG = "__nonfinite__"
+_NONFINITE_ENCODE = {float("inf"): "inf", float("-inf"): "-inf"}
+_NONFINITE_DECODE = {
+    "nan": float("nan"),
+    "inf": float("inf"),
+    "-inf": float("-inf"),
+}
+
+
+def sanitize_nonfinite(obj: Any) -> Any:
+    """Replace non-finite floats in a jsonable tree with tagged sentinels.
+
+    Operates on the output of :func:`to_jsonable` (plain dicts / lists /
+    scalars); each ``nan`` / ``inf`` / ``-inf`` float becomes
+    ``{"__nonfinite__": "nan"|"inf"|"-inf"}`` so the tree serialises as
+    strictly valid JSON (``json.dumps(..., allow_nan=False)``).
+    """
+    if isinstance(obj, float) and not np.isfinite(obj):
+        tag = "nan" if np.isnan(obj) else _NONFINITE_ENCODE[obj]
+        return {_NONFINITE_TAG: tag}
+    if isinstance(obj, dict):
+        return {key: sanitize_nonfinite(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [sanitize_nonfinite(value) for value in obj]
+    return obj
+
+
+def restore_nonfinite(obj: Any) -> Any:
+    """Reverse :func:`sanitize_nonfinite`, restoring the tagged floats."""
+    if isinstance(obj, dict):
+        if set(obj) == {_NONFINITE_TAG}:
+            try:
+                return _NONFINITE_DECODE[obj[_NONFINITE_TAG]]
+            except (KeyError, TypeError):
+                raise ValueError(
+                    f"unknown non-finite tag {obj[_NONFINITE_TAG]!r}"
+                ) from None
+        return {key: restore_nonfinite(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [restore_nonfinite(value) for value in obj]
+    return obj
+
+
+def strict_dumps(obj: Any, indent: int | None = None) -> str:
+    """Strictly valid JSON text for ``obj`` (wire format).
+
+    ``obj`` is passed through :func:`to_jsonable` then
+    :func:`sanitize_nonfinite`, so numpy arrays become tagged dicts and
+    non-finite floats become tagged sentinels; the result is guaranteed
+    parseable by any JSON implementation (``allow_nan=False`` enforces
+    it).
+    """
+    return json.dumps(
+        sanitize_nonfinite(to_jsonable(obj)), indent=indent, allow_nan=False
+    )
+
+
+def strict_loads(text: str) -> Any:
+    """Parse :func:`strict_dumps` output, restoring non-finite floats.
+
+    Numpy-array tags are left in jsonable form for the caller's
+    ``from_dict`` / :func:`from_jsonable` to restore.
+    """
+    return restore_nonfinite(json.loads(text))
 
 
 def _optional_array(value: Any) -> np.ndarray | None:
@@ -300,4 +375,8 @@ __all__ = [
     "config_hash",
     "to_jsonable",
     "from_jsonable",
+    "sanitize_nonfinite",
+    "restore_nonfinite",
+    "strict_dumps",
+    "strict_loads",
 ]

@@ -27,6 +27,7 @@ CLI via ``--substrate``.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field, replace
 from typing import Any, Protocol, runtime_checkable
 
@@ -346,6 +347,20 @@ class MCDropoutSession:
                 model, n_iterations=self.n_iterations, rng=self._rng
             )
 
+    def clone(self) -> "MCDropoutSession":
+        """A cheap, independent copy of this session for pooling.
+
+        Serving pools (:mod:`repro.serve`) hold several pre-warmed
+        sessions per (substrate, model) pair so micro-batches can run
+        concurrently.  Cloning copies the session state wholesale --
+        mapped macros, pinned DAC/ADC calibration, the instantiated (and
+        bias-trimmed) hardware RNG -- instead of re-running hardware
+        instantiation and calibration, and shares no mutable state with
+        the original, so clone and original produce bit-for-bit identical
+        results for identical ``run()`` arguments.
+        """
+        return copy.deepcopy(self)
+
     def draw_masks(self, rng: np.random.Generator | None = None) -> MaskPlan:
         """Draw (and order) one set of mask streams for later pinning.
 
@@ -455,6 +470,7 @@ class MCDropoutSession:
         inputs: Any,
         rng: np.random.Generator | None = None,
         masks: MaskPlan | None = None,
+        item_rngs: list[np.random.Generator] | None = None,
     ) -> BatchResult:
         """Batched MC-Dropout inference: shared masks, per-item noise.
 
@@ -476,6 +492,10 @@ class MCDropoutSession:
             rng: base generator for the shared masks and the per-item
                 noise spawn; default is the session's own generator.
             masks: pre-drawn mask plan; default draws one from ``rng``.
+            item_rngs: explicit per-item noise generators replacing the
+                ``rng.spawn`` default -- the hook serving layers use to
+                hand every coalesced request the exact generator state
+                its standalone reference run would consume.
 
         Returns:
             A :class:`BatchResult` with one :class:`InferenceResult` per
@@ -484,7 +504,13 @@ class MCDropoutSession:
         items = list(inputs)
         rng = rng if rng is not None else self._rng
         plan = masks if masks is not None else self.draw_masks(rng)
-        item_rngs = rng.spawn(len(items))
+        if item_rngs is None:
+            item_rngs = rng.spawn(len(items))
+        elif len(item_rngs) != len(items):
+            raise ValueError(
+                f"item_rngs has {len(item_rngs)} generators for "
+                f"{len(items)} items"
+            )
         results = [
             self.run(item, rng=item_rng, masks=plan)
             for item, item_rng in zip(items, item_rngs)
@@ -527,6 +553,12 @@ class LocalizationSession:
             rng=rng,
             **localizer_kwargs,
         )
+
+    def clone(self) -> "LocalizationSession":
+        """An independent copy (programmed map arrays, filter state and
+        all) sharing no mutable state with the original; see
+        :meth:`MCDropoutSession.clone`."""
+        return copy.deepcopy(self)
 
     def initialize_tracking(
         self, state: np.ndarray, sigma: np.ndarray, rng: np.random.Generator

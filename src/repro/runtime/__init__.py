@@ -13,6 +13,9 @@ instead of hidden for-loops:
 - :mod:`repro.runtime.store` -- :class:`RunStore`: a structured run
   directory (``manifest.json`` + ``results.jsonl``) with load/query
   helpers, streamed to as jobs finish.
+- :mod:`repro.runtime.policy` -- :class:`BatchPolicy` /
+  :class:`QueuePolicy`: the shared coalescing / bounded-admission knob
+  vocabulary used by every batching layer (notably :mod:`repro.serve`).
 
 Batched *inference* (``session.run_batch``) lives with the sessions in
 :mod:`repro.api.substrates`; this package covers batched *experiments*.
@@ -36,14 +39,17 @@ from repro.runtime.executor import (
     run_plan,
 )
 from repro.runtime.plan import JobSpec, Plan
+from repro.runtime.policy import BatchPolicy, QueuePolicy
 from repro.runtime.store import RunStore
 
 __all__ = [
+    "BatchPolicy",
     "ExecutionReport",
     "JobRecord",
     "JobSpec",
     "ParallelExecutor",
     "Plan",
+    "QueuePolicy",
     "RunStore",
     "run_plan",
 ]

@@ -1,0 +1,64 @@
+"""Shared batching / queueing policy types.
+
+The same throughput-vs-latency trade-off shows up at every batching
+layer of the stack -- the CIM macro amortises peripherals over column
+reads, ``session.run_batch`` amortises mask drawing over items, and the
+serving layer (:mod:`repro.serve`) amortises both over concurrent
+requests.  These small frozen dataclasses give every layer one vocabulary
+for the knobs instead of loose ``max_batch=...`` ints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How aggressively to coalesce work into micro-batches.
+
+    Attributes:
+        max_batch: largest micro-batch assembled before dispatch; 1
+            disables coalescing (every item dispatches alone).
+        max_wait_ms: longest an admitted item waits for company before
+            its (possibly undersized) batch dispatches anyway.  0 means
+            dispatch whatever is immediately available.
+    """
+
+    max_batch: int = 8
+    max_wait_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1000.0
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Bounded admission: how much pending work a consumer may hold.
+
+    Attributes:
+        max_pending: admitted-but-unfinished items allowed at once;
+            admission beyond this is an explicit rejection
+            (:class:`repro.serve.ServiceOverloaded`), never unbounded
+            queue growth.
+    """
+
+    max_pending: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+
+
+__all__ = ["BatchPolicy", "QueuePolicy"]

@@ -25,6 +25,7 @@ Typical use::
 from __future__ import annotations
 
 import json
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Iterator
@@ -92,8 +93,16 @@ class RunStore:
         return store
 
     @classmethod
-    def load(cls, path: str | Path) -> "RunStore":
-        """Load a run directory (manifest + every result line)."""
+    def load(cls, path: str | Path, strict: bool = False) -> "RunStore":
+        """Load a run directory (manifest + every result line).
+
+        A killed or crashed writer can leave ``results.jsonl`` with a
+        truncated final line; by default that trailing fragment is
+        skipped with a warning so the completed records stay queryable.
+        ``strict=True`` raises the ``json.JSONDecodeError`` instead.  A
+        malformed line *before* the end is real corruption and always
+        raises.
+        """
         path = Path(path)
         manifest_path = path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -102,10 +111,28 @@ class RunStore:
         records: list[JobRecord] = []
         results_path = path / RESULTS_NAME
         if results_path.exists():
-            for line in results_path.read_text().splitlines():
-                line = line.strip()
-                if line:
-                    records.append(JobRecord.from_jsonable(json.loads(line)))
+            lines = [
+                stripped
+                for stripped in (
+                    line.strip()
+                    for line in results_path.read_text().splitlines()
+                )
+                if stripped
+            ]
+            for index, line in enumerate(lines):
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    if strict or index != len(lines) - 1:
+                        raise
+                    warnings.warn(
+                        f"skipping truncated trailing line in "
+                        f"{results_path} (crashed writer?); pass "
+                        "strict=True to raise instead",
+                        stacklevel=2,
+                    )
+                    continue
+                records.append(JobRecord.from_jsonable(payload))
         records.sort(key=lambda record: record.job.index)
         return cls(path, manifest, records)
 

@@ -1,0 +1,69 @@
+"""Request-level inference serving over the substrate sessions.
+
+This package lifts the paper's circuit-level batching trade-off to the
+serving level: independent concurrent requests are coalesced into
+``session.run_batch`` micro-batches over pools of pre-warmed sessions,
+with results that stay bit-for-bit equal to a standalone pinned-mask
+``session.run()`` for the same seed no matter how requests were batched.
+
+- :mod:`repro.serve.types` -- :class:`InferenceRequest` /
+  :class:`InferenceResponse` schemas (JSON round-trip, strict NaN-safe
+  wire encoding) and :class:`ServiceOverloaded`.
+- :mod:`repro.serve.pool` -- :class:`SessionPool`: pre-warmed, cloned,
+  calibrated sessions per (substrate, model) pair.
+- :mod:`repro.serve.service` -- :class:`InferenceService` /
+  :class:`Batcher`: asyncio submission, ``(max_batch, max_wait_ms)``
+  coalescing, bounded-queue backpressure, per-request scoped metering;
+  :func:`reference_run` is the determinism oracle.
+- :mod:`repro.serve.http` -- stdlib HTTP endpoint (``/infer``,
+  ``/healthz``, ``/stats``) behind ``repro serve``.
+- :mod:`repro.serve.demo` -- the deterministic quickstart model.
+
+Quick start::
+
+    from repro.serve import InferenceRequest, InferenceService
+    from repro.serve.demo import demo_model
+
+    service = InferenceService(demo_model(), substrates=["cim-ordered"])
+    [response] = service.infer_many(
+        [InferenceRequest(x, substrate="cim-ordered", seed=7)]
+    )
+    response.result.mean, response.result.energy_j
+"""
+
+from repro.runtime.policy import BatchPolicy, QueuePolicy
+from repro.serve.pool import (
+    SessionPool,
+    build_reference_session,
+    default_calibration_inputs,
+)
+from repro.serve.service import (
+    Batcher,
+    InferenceService,
+    ServiceStats,
+    reference_run,
+)
+from repro.serve.types import (
+    DEFAULT_MODEL,
+    InferenceRequest,
+    InferenceResponse,
+    RequestExecutionError,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "Batcher",
+    "DEFAULT_MODEL",
+    "InferenceRequest",
+    "InferenceResponse",
+    "InferenceService",
+    "QueuePolicy",
+    "RequestExecutionError",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "SessionPool",
+    "build_reference_session",
+    "default_calibration_inputs",
+    "reference_run",
+]

@@ -1,0 +1,47 @@
+"""Deterministic demo model for the serving quickstart and CI smoke.
+
+``repro serve`` needs a network to serve out of the box; this module
+builds a small MC-Dropout regression head whose weights depend only on
+``seed``, so a client process (the CI parity step, the README curl
+example) can rebuild the exact served model and verify bit-parity
+against a local :func:`repro.serve.reference_run`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Dense, Dropout, ReLU, Sequential
+
+DEMO_INPUTS = 24
+DEMO_HIDDEN = 16
+DEMO_OUTPUTS = 4
+DEMO_DROPOUT = 0.5
+
+
+def demo_model(seed: int = 0) -> Sequential:
+    """The quickstart network: Dense -> ReLU -> Dropout -> Dense."""
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        [
+            Dense(DEMO_INPUTS, DEMO_HIDDEN, rng),
+            ReLU(),
+            Dropout(DEMO_DROPOUT, rng=np.random.default_rng(seed + 1)),
+            Dense(DEMO_HIDDEN, DEMO_OUTPUTS, rng),
+        ]
+    )
+
+
+def demo_inputs(seed: int = 0, batch: int = 4) -> np.ndarray:
+    """A deterministic (batch, DEMO_INPUTS) feature batch."""
+    return np.random.default_rng(seed + 100).normal(size=(batch, DEMO_INPUTS))
+
+
+__all__ = [
+    "DEMO_DROPOUT",
+    "DEMO_HIDDEN",
+    "DEMO_INPUTS",
+    "DEMO_OUTPUTS",
+    "demo_inputs",
+    "demo_model",
+]

@@ -1,0 +1,202 @@
+"""Stdlib-only HTTP front end for :class:`~repro.serve.InferenceService`.
+
+No third-party web framework: a ``ThreadingHTTPServer`` whose handler
+threads bridge into the service's asyncio loop with
+``asyncio.run_coroutine_threadsafe``.  Endpoints:
+
+- ``POST /infer``  -- body: an :class:`~repro.serve.InferenceRequest`
+  JSON object (``inputs`` as nested lists or a tagged ndarray).  Returns
+  the :class:`~repro.serve.InferenceResponse` (200), a client error for
+  malformed requests / unknown substrates / width mismatches (400), or
+  an explicit overload rejection (503) when the bounded queue is full.
+- ``GET /healthz`` -- static service configuration, 200 when serving.
+- ``GET /stats``   -- live counters (requests, batches, rejections,
+  per-substrate tallies, pool idle states).
+
+Every body is emitted with :func:`repro.api.results.strict_dumps`, so
+the wire never carries bare ``NaN`` / ``Infinity`` tokens: non-finite
+floats arrive as tagged ``{"__nonfinite__": ...}`` sentinels that
+:func:`repro.api.results.strict_loads` restores exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.results import strict_dumps
+from repro.serve.service import InferenceService
+from repro.serve.types import (
+    InferenceRequest,
+    RequestExecutionError,
+    ServiceOverloaded,
+)
+
+REQUEST_TIMEOUT_S = 300.0
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+
+    # Quiet by default; the CLI enables logging via server attribute.
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = strict_dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok", **service.describe()})
+        elif self.path == "/stats":
+            self._reply(200, service.stats_snapshot())
+        else:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:
+        if self.path != "/infer":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            self._reply(400, {"error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._reply(400, {"error": "missing or oversized request body"})
+            return
+        body = self.rfile.read(length)
+        try:
+            request = InferenceRequest.from_json(body.decode("utf-8"))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+            self._reply(400, {"error": f"bad request: {error}"})
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.service.submit(request), self.server.loop
+        )
+        try:
+            response = future.result(timeout=REQUEST_TIMEOUT_S)
+        except ServiceOverloaded as error:
+            self._reply(
+                503,
+                {
+                    "error": str(error),
+                    "pending": error.pending,
+                    "max_pending": error.max_pending,
+                },
+            )
+        except RequestExecutionError as error:
+            # Engine/session failure while executing the micro-batch: a
+            # server-side fault, never the client's request.
+            self._reply(500, {"error": str(error)})
+        except (KeyError, ValueError) as error:
+            # Submission-time validation: unknown substrate/model, input
+            # width mismatch -- the request itself is at fault.
+            message = error.args[0] if error.args else str(error)
+            self._reply(400, {"error": str(message)})
+        except Exception as error:
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._reply(200, response.to_dict())
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to a service and its event loop."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: InferenceService,
+        loop: asyncio.AbstractEventLoop,
+        verbose: bool = False,
+    ):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.loop = loop
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class ServingContext:
+    """A running service + HTTP server pair with owned background threads.
+
+    The service's asyncio loop runs on one daemon thread and the HTTP
+    server on another, so tests (and the CLI, which then just blocks)
+    can stand up a full serving stack in-process::
+
+        with serve_http(service, port=0) as ctx:
+            urllib.request.urlopen(f"http://127.0.0.1:{ctx.port}/healthz")
+    """
+
+    def __init__(self, service: InferenceService, host: str, port: int,
+                 verbose: bool = False):
+        self.service = service
+        self.loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+        asyncio.run_coroutine_threadsafe(
+            service.start(), self.loop
+        ).result()
+        self.server = ServiceHTTPServer(
+            (host, port), service, self.loop, verbose=verbose
+        )
+        self._http_thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-serve-http",
+            daemon=True,
+        )
+        self._http_thread.start()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self._http_thread.join(timeout=10)
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        ).result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._loop_thread.join(timeout=10)
+        self.loop.close()
+
+    def __enter__(self) -> "ServingContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def serve_http(
+    service: InferenceService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    verbose: bool = False,
+) -> ServingContext:
+    """Start ``service`` behind an HTTP endpoint; returns the context.
+
+    ``port=0`` binds an ephemeral port (see ``context.port``).
+    """
+    return ServingContext(service, host, port, verbose=verbose)
+
+
+__all__ = ["ServiceHTTPServer", "ServingContext", "serve_http"]

@@ -1,0 +1,578 @@
+"""Request-level asyncio inference service with dynamic micro-batching.
+
+The public entry points of the stack used to be caller-owned blocking
+sessions; this module redesigns the API around **stateless concurrent
+requests**:
+
+- :class:`InferenceService` owns a pre-warmed :class:`~repro.serve.pool.
+  SessionPool` per (substrate, model) pair and admits requests through a
+  bounded queue (:class:`~repro.runtime.QueuePolicy`) -- beyond the
+  bound, ``submit`` raises :class:`~repro.serve.types.ServiceOverloaded`
+  instead of queueing without limit.
+- A :class:`Batcher` per pair coalesces concurrent ``submit`` calls into
+  ``session.run_batch`` micro-batches under the
+  :class:`~repro.runtime.BatchPolicy` ``(max_batch, max_wait_ms)``
+  window, amortising dropout-mask drawing and the O(T^2) ordering search
+  across every same-seed request in the batch.
+- Results are deterministic **per request**: each response is bit-for-bit
+  what :func:`reference_run` produces on a fresh identically-built
+  session with the same seed, no matter how the request was batched, and
+  each response's ops/energy come from the engine's scoped per-call
+  ledgers, so concurrent requests never bleed metering into each other.
+
+Use it in-process (async)::
+
+    service = InferenceService(model, substrates=["cim-ordered"])
+    async with service:
+        response = await service.submit(InferenceRequest(x, substrate="cim-ordered"))
+
+or synchronously::
+
+    responses = service.infer_many(requests)
+
+or over HTTP via :mod:`repro.serve.http` / ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.api.substrates import MaskPlan, MCDropoutSession, available_substrates
+from repro.nn.sequential import Sequential
+from repro.runtime.policy import BatchPolicy, QueuePolicy
+from repro.serve.pool import SessionPool
+from repro.serve.types import (
+    DEFAULT_MODEL,
+    InferenceRequest,
+    InferenceResponse,
+    RequestExecutionError,
+    ServiceOverloaded,
+)
+
+
+def reference_run(
+    session: MCDropoutSession, inputs: np.ndarray, seed: int
+):
+    """The per-request determinism oracle.
+
+    One base generator seeded with the request seed draws (and orders)
+    the mask plan, then the *same* generator -- now advanced past the
+    draw -- feeds the pinned-mask run.  The service reproduces this
+    exactly for every request by snapshotting the post-draw generator
+    state and handing each coalesced item a generator restored to it.
+    """
+    base = np.random.default_rng(seed)
+    plan = session.draw_masks(base)
+    return session.run(inputs, rng=base, masks=plan)
+
+
+def _post_draw_generators(
+    session: MCDropoutSession, seed: int, count: int
+) -> tuple[MaskPlan, list[np.random.Generator]]:
+    """One shared mask plan plus ``count`` identical post-draw generators."""
+    base = np.random.default_rng(seed)
+    plan = session.draw_masks(base)
+    state = base.bit_generator.state
+    generators = []
+    for _ in range(count):
+        generator = np.random.default_rng(0)
+        generator.bit_generator.state = state
+        generators.append(generator)
+    return plan, generators
+
+
+@dataclass
+class ServiceStats:
+    """Loop-thread counters exposed by ``/stats``.
+
+    Attributes:
+        received: requests admitted past the queue bound.
+        completed: responses delivered.
+        failed: requests whose execution raised.
+        rejected: admissions refused with :class:`ServiceOverloaded`.
+        batches: micro-batches dispatched.
+        batched_requests: requests served in micro-batches of size > 1.
+        max_batch_observed: largest micro-batch dispatched so far.
+        per_substrate: completed-request count per substrate name.
+    """
+
+    received: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch_observed: int = 0
+    per_substrate: dict[str, int] = field(default_factory=dict)
+
+    def mean_batch_size(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        return (self.completed + self.failed) / self.batches
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in a batcher queue."""
+
+    request: InferenceRequest
+    future: asyncio.Future
+    admitted_at: float
+
+
+_SHUTDOWN = object()
+
+
+class Batcher:
+    """Coalesces one pool's requests into run_batch micro-batches.
+
+    The collection loop takes the first waiting request, then keeps
+    accepting company until the batch hits ``policy.max_batch`` or the
+    first request has waited ``policy.max_wait_ms``; the assembled batch
+    is dispatched as a task so collection continues while the pool
+    executes it (pool width bounds per-pair concurrency).
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool,
+        policy: BatchPolicy,
+        executor: ThreadPoolExecutor,
+        stats: ServiceStats,
+    ):
+        self.pool = pool
+        self.policy = policy
+        self._executor = executor
+        self._stats = stats
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._task: asyncio.Task | None = None
+        self._dispatches: set[asyncio.Task] = set()
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self) -> None:
+        if self._task is None:
+            return
+        self._queue.put_nowait(_SHUTDOWN)
+        await self._task
+        self._task = None
+        if self._dispatches:
+            await asyncio.gather(*self._dispatches, return_exceptions=True)
+        # Fail anything that slipped into the queue behind the shutdown
+        # sentinel -- an abandoned future would hang its awaiter forever.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if leftover is _SHUTDOWN or leftover.future.done():
+                continue
+            self._stats.failed += 1
+            leftover.future.set_exception(
+                RequestExecutionError("service stopped before execution")
+            )
+
+    def put(self, pending: _Pending) -> None:
+        self._queue.put_nowait(pending)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            first = await self._queue.get()
+            if first is _SHUTDOWN:
+                break
+            batch = [first]
+            deadline = loop.time() + self.policy.max_wait_s
+            while len(batch) < self.policy.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    # Zero-wait policies still drain whatever is already
+                    # queued, so bursts coalesce even at max_wait_ms=0.
+                    try:
+                        item = self._queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                else:
+                    try:
+                        item = await asyncio.wait_for(
+                            self._queue.get(), timeout
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if item is _SHUTDOWN:
+                    stopping = True
+                    break
+                batch.append(item)
+            task = loop.create_task(self._dispatch(batch))
+            self._dispatches.add(task)
+            task.add_done_callback(self._dispatches.discard)
+
+    async def _dispatch(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        started_at = loop.time()
+        self._stats.batches += 1
+        self._stats.max_batch_observed = max(
+            self._stats.max_batch_observed, len(batch)
+        )
+        if len(batch) > 1:
+            self._stats.batched_requests += len(batch)
+        session = await self.pool.acquire()
+        try:
+            outcomes = await loop.run_in_executor(
+                self._executor, self._execute, session, batch
+            )
+        except Exception as error:  # pool-level failure: fail every item
+            wrapped = RequestExecutionError(f"{type(error).__name__}: {error}")
+            wrapped.__cause__ = error
+            outcomes = [wrapped] * len(batch)
+        finally:
+            self.pool.release(session)
+        for pending, outcome in zip(batch, outcomes):
+            if pending.future.done():
+                continue
+            if isinstance(outcome, Exception):
+                self._stats.failed += 1
+                pending.future.set_exception(outcome)
+            else:
+                self._stats.completed += 1
+                name = self.pool.substrate.name
+                self._stats.per_substrate[name] = (
+                    self._stats.per_substrate.get(name, 0) + 1
+                )
+                outcome.queue_s = started_at - pending.admitted_at
+                outcome.total_s = loop.time() - pending.admitted_at
+                pending.future.set_result(outcome)
+
+    def _execute(
+        self, session: MCDropoutSession, batch: list[_Pending]
+    ) -> list[Any]:
+        """Run one micro-batch on a borrowed session (worker thread).
+
+        Items are grouped by seed; each group shares one mask-plan draw
+        and every item gets a generator restored to the post-draw state,
+        which is exactly what :func:`reference_run` would hand a
+        standalone run -- so coalescing changes throughput, never bits.
+        """
+        groups: dict[int, list[int]] = {}
+        for index, pending in enumerate(batch):
+            groups.setdefault(pending.request.seed, []).append(index)
+        outcomes: list[Any] = [None] * len(batch)
+        for seed, indexes in groups.items():
+            try:
+                plan, generators = _post_draw_generators(
+                    session, seed, len(indexes)
+                )
+                result = session.run_batch(
+                    [batch[i].request.inputs for i in indexes],
+                    masks=plan,
+                    item_rngs=generators,
+                )
+                for position, index in enumerate(indexes):
+                    request = batch[index].request
+                    outcomes[index] = InferenceResponse(
+                        result=result.results[position],
+                        substrate=self.pool.substrate.name,
+                        model=request.model,
+                        seed=seed,
+                        request_id=request.request_id,
+                        batch_size=len(batch),
+                        group_size=len(indexes),
+                    )
+            except Exception as error:
+                # Mark it as an *execution* failure (vs a submission-time
+                # client error) so transports can answer 500, not 400.
+                wrapped = RequestExecutionError(
+                    f"{type(error).__name__}: {error}"
+                )
+                wrapped.__cause__ = error
+                for index in indexes:
+                    outcomes[index] = wrapped
+        return outcomes
+
+
+class InferenceService:
+    """Asyncio inference front end over pre-warmed session pools.
+
+    Args:
+        models: the served network, or a ``{name: Sequential}`` mapping
+            for multi-model serving (a bare model is registered under
+            ``"default"``).
+        substrates: registered substrate names to open pools for
+            (default: every registered substrate).
+        n_iterations: MC-Dropout depth of every session.
+        batch: micro-batching policy (see :class:`BatchPolicy`).
+        queue: admission policy (see :class:`QueuePolicy`).
+        pool_size: pre-warmed sessions per (substrate, model) pair.
+        calibration_inputs: representative activations for session
+            calibration (default: deterministic synthetic ones).
+        session_seed: hardware-instantiation seed shared by every pool
+            session and by :meth:`reference_session` -- part of the
+            determinism contract.
+    """
+
+    def __init__(
+        self,
+        models: Sequential | Mapping[str, Sequential],
+        substrates: Sequence[str] | None = None,
+        n_iterations: int = 30,
+        batch: BatchPolicy | None = None,
+        queue: QueuePolicy | None = None,
+        pool_size: int = 1,
+        calibration_inputs: np.ndarray | None = None,
+        session_seed: int = 0,
+    ):
+        if isinstance(models, Mapping):
+            self.models = dict(models)
+        else:
+            self.models = {DEFAULT_MODEL: models}
+        if not self.models:
+            raise ValueError("need at least one model to serve")
+        from repro.api.substrates import get_substrate
+
+        self.substrates = [
+            get_substrate(name).name
+            for name in (
+                substrates if substrates is not None else available_substrates()
+            )
+        ]
+        if not self.substrates:
+            raise ValueError("need at least one substrate to serve")
+        self.n_iterations = int(n_iterations)
+        self.batch_policy = batch or BatchPolicy()
+        self.queue_policy = queue or QueuePolicy()
+        self.pool_size = int(pool_size)
+        self.calibration_inputs = calibration_inputs
+        self.session_seed = int(session_seed)
+        self._pools: dict[tuple[str, str], SessionPool] = {}
+        self._batchers: dict[tuple[str, str], Batcher] = {}
+        self._executor: ThreadPoolExecutor | None = None
+        self._pending = 0
+        self._started = False
+        self._started_at: float | None = None
+        self.stats = ServiceStats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm the pools and start the batchers (idempotent)."""
+        if self._started:
+            return
+        if not self._pools:
+            for substrate in self.substrates:
+                for model_name, model in self.models.items():
+                    self._pools[(substrate, model_name)] = SessionPool(
+                        substrate,
+                        model,
+                        n_iterations=self.n_iterations,
+                        size=self.pool_size,
+                        calibration_inputs=self.calibration_inputs,
+                        session_seed=self.session_seed,
+                    )
+        for pool in self._pools.values():
+            pool.reset_idle()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, len(self._pools) * self.pool_size),
+            thread_name_prefix="repro-serve",
+        )
+        for key, pool in self._pools.items():
+            batcher = Batcher(
+                pool, self.batch_policy, self._executor, self.stats
+            )
+            batcher.start()
+            self._batchers[key] = batcher
+        self._started = True
+        self._started_at = time.time()
+
+    async def stop(self) -> None:
+        """Drain the batchers and release the worker threads."""
+        if not self._started:
+            return
+        for batcher in self._batchers.values():
+            await batcher.close()
+        self._batchers.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+
+    async def __aenter__(self) -> "InferenceService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # -- request path ------------------------------------------------------
+
+    def _resolve_key(self, request: InferenceRequest) -> tuple[str, str]:
+        from repro.api.substrates import get_substrate
+
+        substrate = get_substrate(request.substrate).name
+        key = (substrate, request.model)
+        if key not in self._pools:
+            raise KeyError(
+                f"no pool for substrate {substrate!r} / model "
+                f"{request.model!r}; serving "
+                f"{sorted(self._pools)}"
+            )
+        return key
+
+    async def submit(self, request: InferenceRequest) -> InferenceResponse:
+        """Admit one request; resolves when its micro-batch completes.
+
+        Raises:
+            ServiceOverloaded: the bounded queue is at ``max_pending``.
+            KeyError: unknown substrate or model.
+            ValueError: input width does not match the served model.
+        """
+        if not self._started:
+            raise RuntimeError(
+                "service is not started (use 'async with service:' or "
+                "await service.start())"
+            )
+        key = self._resolve_key(request)
+        pool = self._pools[key]
+        if request.inputs.shape[-1] != pool.in_features:
+            raise ValueError(
+                f"request inputs have width {request.inputs.shape[-1]}, "
+                f"model {request.model!r} expects {pool.in_features}"
+            )
+        if self._pending >= self.queue_policy.max_pending:
+            self.stats.rejected += 1
+            raise ServiceOverloaded(
+                self._pending, self.queue_policy.max_pending
+            )
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            request=request,
+            future=loop.create_future(),
+            admitted_at=loop.time(),
+        )
+        self._pending += 1
+        self.stats.received += 1
+        try:
+            self._batchers[key].put(pending)
+            return await pending.future
+        finally:
+            self._pending -= 1
+
+    def infer_many(
+        self, requests: Iterable[InferenceRequest]
+    ) -> list[InferenceResponse]:
+        """Synchronous convenience wrapper: serve ``requests`` concurrently.
+
+        Owns the whole lifecycle (start, concurrent submission, stop) on
+        a private event loop, applying client-side flow control at the
+        queue policy's ``max_pending`` so the call never rejects itself.
+        Responses come back in request order.  Must not be called while
+        the service is already running on another loop.
+        """
+        if self._started:
+            raise RuntimeError(
+                "infer_many owns the service lifecycle; the service is "
+                "already started -- use 'await service.submit(...)' instead"
+            )
+        request_list = list(requests)
+
+        async def _drive() -> list[InferenceResponse]:
+            semaphore = asyncio.Semaphore(self.queue_policy.max_pending)
+
+            async def one(request: InferenceRequest) -> InferenceResponse:
+                async with semaphore:
+                    return await self.submit(request)
+
+            async with self:
+                return list(
+                    await asyncio.gather(*(one(r) for r in request_list))
+                )
+
+        return asyncio.run(_drive())
+
+    # -- introspection -----------------------------------------------------
+
+    def reference_session(
+        self, substrate: str, model: str = DEFAULT_MODEL
+    ) -> MCDropoutSession:
+        """A fresh session identical to the ones serving ``substrate``.
+
+        ``reference_run(service.reference_session(s), x, seed)`` is the
+        oracle every response must match bit-for-bit.
+        """
+        from repro.api.substrates import get_substrate
+
+        substrate = get_substrate(substrate).name
+        key = (substrate, model)
+        if key not in self._pools:
+            # Before start() the pools do not exist yet; build the bare
+            # session so parity checks can run against a cold service too.
+            if substrate not in self.substrates or model not in self.models:
+                raise KeyError(
+                    f"not serving substrate {substrate!r} / model {model!r}"
+                )
+            from repro.serve.pool import build_reference_session
+
+            return build_reference_session(
+                substrate,
+                self.models[model],
+                n_iterations=self.n_iterations,
+                calibration_inputs=self.calibration_inputs,
+                session_seed=self.session_seed,
+            )
+        return self._pools[key].reference_session()
+
+    def describe(self) -> dict[str, Any]:
+        """Static service configuration (for ``/healthz``)."""
+        return {
+            "substrates": sorted(self.substrates),
+            "models": sorted(self.models),
+            "n_iterations": self.n_iterations,
+            "batch": {
+                "max_batch": self.batch_policy.max_batch,
+                "max_wait_ms": self.batch_policy.max_wait_ms,
+            },
+            "queue": {"max_pending": self.queue_policy.max_pending},
+            "pool_size": self.pool_size,
+            "session_seed": self.session_seed,
+            "started": self._started,
+        }
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """Live counters (for ``/stats``)."""
+        return {
+            "received": self.stats.received,
+            "completed": self.stats.completed,
+            "failed": self.stats.failed,
+            "rejected": self.stats.rejected,
+            "batches": self.stats.batches,
+            "batched_requests": self.stats.batched_requests,
+            "max_batch_observed": self.stats.max_batch_observed,
+            "mean_batch_size": self.stats.mean_batch_size(),
+            "per_substrate": dict(self.stats.per_substrate),
+            "pending": self._pending,
+            "pools": {
+                f"{substrate}/{model}": pool.describe()
+                for (substrate, model), pool in self._pools.items()
+            },
+            "uptime_s": (
+                None
+                if self._started_at is None
+                else time.time() - self._started_at
+            ),
+        }
+
+
+__all__ = [
+    "Batcher",
+    "InferenceService",
+    "ServiceStats",
+    "reference_run",
+]

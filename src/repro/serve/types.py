@@ -1,0 +1,206 @@
+"""Typed request/response schema of the inference service.
+
+A request is *stateless*: everything needed to reproduce its result --
+the input batch, the substrate and model names, and the seed -- travels
+in the request itself.  The determinism contract (asserted by tests and
+the CI smoke step) is that the response's result is bit-for-bit what a
+direct pinned-mask run on an identically constructed session produces::
+
+    base = np.random.default_rng(request.seed)
+    plan = session.draw_masks(base)
+    reference = session.run(request.inputs, rng=base, masks=plan)
+
+independent of which other requests happened to share the micro-batch.
+
+Both dataclasses round-trip through the :mod:`repro.api.results`
+``to_jsonable`` machinery; over the HTTP wire they use the *strict*
+encoding (:func:`repro.api.results.strict_dumps`), which replaces
+non-finite floats with tagged sentinels so the emitted JSON is valid for
+any client.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.api.results import (
+    InferenceResult,
+    from_jsonable,
+    strict_dumps,
+    strict_loads,
+    to_jsonable,
+)
+
+DEFAULT_MODEL = "default"
+
+
+class RequestExecutionError(RuntimeError):
+    """A request failed *while executing* on its session.
+
+    Submission-time problems (unknown substrate, width mismatch,
+    overload) raise their own types from ``submit`` before batching;
+    this wrapper marks failures from inside the micro-batch execution so
+    transports can distinguish server-side faults (HTTP 500) from client
+    errors (400).  The original exception is chained as ``__cause__``.
+    """
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service's bounded request queue is full.
+
+    Raised (HTTP 503) instead of queueing without bound: the caller sees
+    the overload immediately and can back off or shed load.
+
+    Attributes:
+        pending: admitted-but-unfinished requests at rejection time.
+        max_pending: the queue policy's admission bound.
+    """
+
+    def __init__(self, pending: int, max_pending: int):
+        super().__init__(
+            f"service overloaded: {pending} pending request(s) at the "
+            f"admission bound of {max_pending}; retry later"
+        )
+        self.pending = pending
+        self.max_pending = max_pending
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One stateless MC-Dropout inference request.
+
+    Attributes:
+        inputs: (B, in) feature batch (1-D inputs are promoted).
+        substrate: registered substrate name to run on.
+        model: served model name (services may host several).
+        seed: determinism seed -- fixes the dropout mask plan and the
+            analog noise stream (see the module docstring contract).
+        request_id: optional caller-side correlation id, echoed back.
+    """
+
+    inputs: np.ndarray
+    substrate: str = "cim"
+    model: str = DEFAULT_MODEL
+    seed: int = 0
+    request_id: str | None = None
+
+    def __post_init__(self) -> None:
+        array = np.atleast_2d(np.asarray(self.inputs, dtype=float))
+        object.__setattr__(self, "inputs", array)
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def to_dict(self) -> dict:
+        return to_jsonable(dataclasses.asdict(self))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return strict_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InferenceRequest":
+        data = from_jsonable(dict(payload))
+        if "inputs" not in data:
+            raise ValueError("request payload is missing 'inputs'")
+        unknown = set(data) - {
+            "inputs", "substrate", "model", "seed", "request_id",
+        }
+        if unknown:
+            raise ValueError(
+                f"unknown request field(s) {sorted(unknown)}; expected "
+                "inputs/substrate/model/seed/request_id"
+            )
+        return cls(
+            inputs=np.asarray(data["inputs"], dtype=float),
+            substrate=str(data.get("substrate", "cim")),
+            model=str(data.get("model", DEFAULT_MODEL)),
+            seed=int(data.get("seed", 0)),
+            request_id=(
+                None
+                if data.get("request_id") is None
+                else str(data["request_id"])
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "InferenceRequest":
+        return cls.from_dict(strict_loads(text))
+
+
+@dataclass
+class InferenceResponse:
+    """The service's answer to one :class:`InferenceRequest`.
+
+    Attributes:
+        result: the per-request :class:`InferenceResult` -- mean /
+            variance / ops / energy are scoped to this request alone
+            (concurrent requests never bleed metering into each other).
+        substrate: substrate the request ran on (resolved name).
+        model: model name the request ran against.
+        seed: the request's determinism seed.
+        request_id: echoed correlation id.
+        batch_size: size of the micro-batch this request was coalesced
+            into (1 = served alone).
+        group_size: requests in the batch that shared this request's
+            seed, and therefore one mask-plan draw.
+        queue_s: time from admission to execution start.
+        total_s: time from admission to completion.
+    """
+
+    result: InferenceResult
+    substrate: str
+    model: str
+    seed: int
+    request_id: str | None = None
+    batch_size: int = 1
+    group_size: int = 1
+    queue_s: float = 0.0
+    total_s: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "result": self.result.to_dict(),
+            "substrate": self.substrate,
+            "model": self.model,
+            "seed": self.seed,
+            "request_id": self.request_id,
+            "batch_size": self.batch_size,
+            "group_size": self.group_size,
+            "queue_s": self.queue_s,
+            "total_s": self.total_s,
+            "extras": to_jsonable(self.extras),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return strict_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "InferenceResponse":
+        return cls(
+            result=InferenceResult.from_dict(payload["result"]),
+            substrate=payload["substrate"],
+            model=payload.get("model", DEFAULT_MODEL),
+            seed=int(payload.get("seed", 0)),
+            request_id=payload.get("request_id"),
+            batch_size=int(payload.get("batch_size", 1)),
+            group_size=int(payload.get("group_size", 1)),
+            queue_s=float(payload.get("queue_s", 0.0)),
+            total_s=float(payload.get("total_s", 0.0)),
+            extras=from_jsonable(payload.get("extras", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "InferenceResponse":
+        return cls.from_dict(strict_loads(text))
+
+
+__all__ = [
+    "DEFAULT_MODEL",
+    "InferenceRequest",
+    "InferenceResponse",
+    "RequestExecutionError",
+    "ServiceOverloaded",
+]

@@ -91,6 +91,44 @@ class TestRunCommand:
         capsys.readouterr()
         assert len(list(tmp_path.glob("E9-seed1-cfg*.json"))) == 2
 
+    def test_failing_experiment_does_not_abort_batch(self, capsys):
+        # A raising experiment must print its traceback, let the rest of
+        # the batch run, and turn into a non-zero exit at the end.
+        from repro.api.registry import _REGISTRY, experiment
+
+        @experiment("ETEST-BOOM", title="always raises")
+        def boom(ctx):
+            raise RuntimeError("kaboom from ETEST-BOOM")
+
+        try:
+            code = main(["run", "ETEST-BOOM", "E1", "--seed", "0"])
+        finally:
+            _REGISTRY.pop("ETEST-BOOM", None)
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "kaboom from ETEST-BOOM" in captured.err  # the traceback
+        assert "Traceback" in captured.err
+        assert "1 of 2 experiment(s) failed" in captured.err
+        assert "E1" in captured.out  # E1 still ran
+
+    def test_failing_experiment_json_still_prints_successes(self, capsys):
+        from repro.api.registry import _REGISTRY, experiment
+
+        @experiment("ETEST-BOOM2", title="always raises")
+        def boom(ctx):
+            raise RuntimeError("kaboom")
+
+        try:
+            code = main(["run", "ETEST-BOOM2", "E1", "--json", "--seed", "0"])
+        finally:
+            _REGISTRY.pop("ETEST-BOOM2", None)
+        assert code == 1
+        # Two experiments were *requested*, so the shape stays a list
+        # even though only one produced a result.
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["experiment_id"] == "E1"
+
 
 class TestSweepCommand:
     def test_seed_sweep_json(self, capsys):
@@ -208,6 +246,28 @@ class TestBenchCommand:
     def test_bench_unknown_id_friendly(self, capsys):
         assert main(["bench", "--ids", "E99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_bench_suite_serve_writes_serve_json(self, tmp_path, capsys):
+        serve_out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "bench", "--suite", "serve", "--repeats", "1",
+                "--serve-out", str(serve_out),
+            ]
+        )
+        assert code in (0, 1)  # 1 only if coalescing timed slower
+        text = capsys.readouterr().out
+        assert "serve-coalescing" in text
+        payload = json.loads(serve_out.read_text())
+        entry = payload["serve"]
+        assert entry["case"] == "serve-coalescing"
+        assert entry["direct_rps"] > 0
+        assert entry["service_batch1_rps"] > 0
+        assert entry["service_coalesced_rps"] > 0
+        # Coalescing must never change bits, whatever the timings did.
+        assert entry["parity_max_abs_diff"] == 0.0
+        # The historical outputs are untouched by the serve suite.
+        assert not (tmp_path / "BENCH_runtime.json").exists()
 
 
 class TestWorldCaches:

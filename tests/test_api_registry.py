@@ -228,3 +228,65 @@ class TestContext:
             from repro.api.registry import _REGISTRY
 
             _REGISTRY.pop("ETEST-CTX", None)
+
+
+class TestNonFiniteRoundTrips:
+    """NaN/Inf results must survive JSON round-trips (and the strict wire).
+
+    Localization's ``final_error`` is NaN on empty trajectories, so
+    non-finite payloads are a normal production case, not a corner.
+    """
+
+    def make_result(self):
+        from repro.api import InferenceResult
+
+        return InferenceResult(
+            substrate="cim",
+            workload="localization",
+            mean=np.array([[np.nan, 1.0], [np.inf, -np.inf]]),
+            variance=None,
+            energy_j=1.5e-9,
+            extras={"final_error": float("nan"), "peak": float("inf")},
+        )
+
+    def test_inference_result_preserves_nonfinite(self):
+        from repro.api import InferenceResult
+
+        back = InferenceResult.from_json(self.make_result().to_json())
+        assert np.array_equal(back.mean, self.make_result().mean, equal_nan=True)
+        assert np.isnan(back.extras["final_error"])
+        assert back.extras["peak"] == float("inf")
+
+    def test_batch_result_preserves_nonfinite(self):
+        from repro.api import BatchResult
+
+        batch = BatchResult(
+            substrate="cim",
+            workload="localization",
+            results=[self.make_result(), self.make_result()],
+            extras={"worst": float("-inf")},
+        )
+        back = BatchResult.from_json(batch.to_json())
+        assert len(back) == 2
+        for item in back:
+            assert np.array_equal(item.mean, self.make_result().mean, equal_nan=True)
+            assert np.isnan(item.extras["final_error"])
+        assert back.extras["worst"] == float("-inf")
+
+    def test_strict_wire_encoding_round_trips_results(self):
+        # The HTTP path must emit valid JSON: bare NaN/Infinity tokens are
+        # forbidden; tagged sentinels round-trip the values exactly.
+        import json
+
+        from repro.api import InferenceResult
+        from repro.api.results import strict_dumps, strict_loads
+
+        text = strict_dumps(self.make_result().to_dict())
+
+        def reject(token):
+            raise AssertionError(f"bare non-finite token {token!r}")
+
+        json.loads(text, parse_constant=reject)
+        back = InferenceResult.from_dict(strict_loads(text))
+        assert np.array_equal(back.mean, self.make_result().mean, equal_nan=True)
+        assert np.isnan(back.extras["final_error"])

@@ -178,6 +178,38 @@ class TestRunStore:
         with pytest.raises(FileNotFoundError, match="manifest"):
             RunStore.load(tmp_path / "nope")
 
+    def _store_with_truncated_tail(self, tmp_path):
+        """A complete 2-record store whose writer died mid-third-line."""
+        plan = Plan.compile("E9", seeds=[0, 1], overrides=FAST_E9)
+        ParallelExecutor(workers=1).execute(plan, store=tmp_path / "run")
+        results = tmp_path / "run" / "results.jsonl"
+        with results.open("a") as handle:
+            handle.write('{"job": {"index": 2, "experiment_id": "E9", "se')
+        return tmp_path / "run"
+
+    def test_load_skips_truncated_trailing_line(self, tmp_path):
+        path = self._store_with_truncated_tail(tmp_path)
+        with pytest.warns(UserWarning, match="truncated trailing line"):
+            loaded = RunStore.load(path)
+        assert len(loaded.records()) == 2
+        assert len(loaded.results()) == 2
+        assert len(loaded.query(experiment_id="E9")) == 2
+
+    def test_load_strict_raises_on_truncated_tail(self, tmp_path):
+        path = self._store_with_truncated_tail(tmp_path)
+        with pytest.raises(json.JSONDecodeError):
+            RunStore.load(path, strict=True)
+
+    def test_load_raises_on_corrupt_middle_line(self, tmp_path):
+        plan = Plan.compile("E9", seeds=[0, 1], overrides=FAST_E9)
+        ParallelExecutor(workers=1).execute(plan, store=tmp_path / "run")
+        results = tmp_path / "run" / "results.jsonl"
+        lines = results.read_text().splitlines()
+        lines[0] = lines[0][:40]  # corruption *before* the tail
+        results.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            RunStore.load(results.parent)
+
 
 class TestSweepExperimentRebased:
     def test_sweep_keeps_serial_contract(self):

@@ -1,0 +1,536 @@
+"""repro.serve: request-level service, micro-batching, parity, HTTP."""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.api import available_substrates
+from repro.api.results import (
+    restore_nonfinite,
+    sanitize_nonfinite,
+    strict_dumps,
+    strict_loads,
+)
+from repro.runtime import BatchPolicy, QueuePolicy
+from repro.serve import (
+    InferenceRequest,
+    InferenceResponse,
+    InferenceService,
+    ServiceOverloaded,
+    SessionPool,
+    reference_run,
+)
+from repro.serve.demo import demo_inputs, demo_model
+from repro.serve.http import serve_http
+
+N_ITER = 6
+
+
+@pytest.fixture(scope="module")
+def model():
+    return demo_model()
+
+@pytest.fixture(scope="module")
+def inputs():
+    return demo_inputs()
+
+
+def make_service(model, substrates, **kwargs):
+    kwargs.setdefault("n_iterations", N_ITER)
+    return InferenceService(model, substrates=substrates, **kwargs)
+
+
+def assert_result_equal(actual, expected):
+    """Bit-for-bit equality of two InferenceResults (values + metering)."""
+    assert np.array_equal(actual.mean, expected.mean)
+    if expected.variance is None:
+        assert actual.variance is None
+    else:
+        assert np.array_equal(actual.variance, expected.variance)
+    if expected.samples is not None:
+        assert np.array_equal(actual.samples, expected.samples)
+    assert actual.ops_executed == expected.ops_executed
+    assert actual.ops_naive == expected.ops_naive
+    assert actual.energy_j == expected.energy_j
+    assert actual.energy_breakdown_j == expected.energy_breakdown_j
+
+
+class TestPolicies:
+    def test_batch_policy_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            BatchPolicy(max_wait_ms=-1)
+        assert BatchPolicy(max_wait_ms=250.0).max_wait_s == 0.25
+
+    def test_queue_policy_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            QueuePolicy(max_pending=0)
+
+
+class TestRequestResponseTypes:
+    def test_request_round_trip(self, inputs):
+        request = InferenceRequest(
+            inputs, substrate="cim-reuse", seed=7, request_id="r-1"
+        )
+        back = InferenceRequest.from_json(request.to_json())
+        assert np.array_equal(back.inputs, request.inputs)
+        assert back.substrate == "cim-reuse"
+        assert back.seed == 7
+        assert back.request_id == "r-1"
+
+    def test_request_accepts_plain_lists(self):
+        request = InferenceRequest.from_dict(
+            {"inputs": [[1.0, 2.0], [3.0, 4.0]], "seed": 3}
+        )
+        assert request.inputs.shape == (2, 2)
+        assert request.seed == 3
+
+    def test_request_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            InferenceRequest.from_dict({"inputs": [[1.0]], "bogus": 1})
+
+    def test_request_requires_inputs(self):
+        with pytest.raises(ValueError, match="inputs"):
+            InferenceRequest.from_dict({"seed": 1})
+
+    def test_request_promotes_1d_inputs(self):
+        assert InferenceRequest([1.0, 2.0]).inputs.shape == (1, 2)
+
+    def test_overloaded_exception_carries_counts(self):
+        error = ServiceOverloaded(5, 4)
+        assert error.pending == 5 and error.max_pending == 4
+        assert "overloaded" in str(error)
+
+
+class TestStrictEncoding:
+    """Wire format: non-finite floats must survive as *valid* JSON."""
+
+    def test_sanitize_restore_round_trip(self):
+        tree = {
+            "a": float("nan"),
+            "b": [float("inf"), float("-inf"), 1.5],
+            "c": {"nested": float("nan")},
+        }
+        sanitized = sanitize_nonfinite(tree)
+        text = json.dumps(sanitized, allow_nan=False)  # must not raise
+        back = restore_nonfinite(json.loads(text))
+        assert np.isnan(back["a"])
+        assert back["b"][0] == float("inf")
+        assert back["b"][1] == float("-inf")
+        assert back["b"][2] == 1.5
+        assert np.isnan(back["c"]["nested"])
+
+    def test_strict_dumps_emits_no_bare_nan_tokens(self):
+        text = strict_dumps({"x": np.array([np.nan, np.inf, 1.0])})
+
+        def reject(token):
+            raise AssertionError(f"bare non-finite token {token!r} on the wire")
+
+        payload = json.loads(text, parse_constant=reject)
+        restored = restore_nonfinite(payload)
+        values = restored["x"]["__ndarray__"]
+        assert np.isnan(values[0]) and np.isinf(values[1])
+
+    def test_strict_loads_restores_arrays_via_from_jsonable(self):
+        from repro.api.results import from_jsonable
+
+        array = np.array([[np.nan, 2.0], [np.inf, -np.inf]])
+        restored = from_jsonable(strict_loads(strict_dumps(array)))
+        assert restored.shape == array.shape
+        assert np.array_equal(restored, array, equal_nan=True)
+
+    def test_unknown_nonfinite_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown non-finite tag"):
+            restore_nonfinite({"__nonfinite__": "huge"})
+
+
+class TestSessionPool:
+    def test_clone_is_bit_identical(self, model, inputs):
+        pool = SessionPool("cim-ordered", model, n_iterations=N_ITER)
+        original = pool.reference_session()
+        clone = original.clone()
+        first = reference_run(original, inputs, 5)
+        second = reference_run(clone, inputs, 5)
+        assert_result_equal(second, first)
+
+    def test_pool_prewarms_requested_size(self, model):
+        pool = SessionPool("cim", model, n_iterations=N_ITER, size=3)
+        assert pool.idle == 3
+        assert pool.describe()["size"] == 3
+
+    def test_pool_rejects_bad_size(self, model):
+        with pytest.raises(ValueError, match="size"):
+            SessionPool("cim", model, size=0)
+
+    def test_reference_session_matches_pool_member(self, model, inputs):
+        pool = SessionPool("cim-reuse", model, n_iterations=N_ITER)
+        member = asyncio.run(pool.acquire())
+        reference = pool.reference_session()
+        assert_result_equal(
+            reference_run(member, inputs, 2), reference_run(reference, inputs, 2)
+        )
+
+
+class TestServiceParity:
+    """Acceptance: every response == direct pinned-mask run, per substrate."""
+
+    @pytest.fixture(scope="class")
+    def service_and_responses(self, model, inputs):
+        substrates = available_substrates()
+        service = make_service(
+            model,
+            substrates,
+            batch=BatchPolicy(max_batch=4, max_wait_ms=20.0),
+        )
+        requests = [
+            InferenceRequest(inputs, substrate=name, seed=seed)
+            for name in substrates
+            for seed in (0, 11)
+        ]
+        responses = service.infer_many(requests)
+        return service, requests, responses
+
+    def test_every_substrate_every_seed_bit_for_bit(
+        self, service_and_responses
+    ):
+        service, requests, responses = service_and_responses
+        for request, response in zip(requests, responses):
+            session = service.reference_session(request.substrate)
+            expected = reference_run(session, request.inputs, request.seed)
+            assert response.substrate == request.substrate
+            assert response.seed == request.seed
+            assert_result_equal(response.result, expected)
+
+    def test_responses_arrive_in_request_order(self, service_and_responses):
+        _, requests, responses = service_and_responses
+        assert [r.substrate for r in responses] == [
+            r.substrate for r in requests
+        ]
+        assert [r.seed for r in responses] == [r.seed for r in requests]
+
+    def test_metering_is_per_request_not_cumulative(self, model, inputs):
+        # Two same-substrate requests in one coalesced batch: identical
+        # work must report identical (not accumulating) energy/ops.
+        service = make_service(
+            model, ["cim-reuse"], batch=BatchPolicy(max_batch=2, max_wait_ms=50)
+        )
+        requests = [
+            InferenceRequest(inputs, substrate="cim-reuse", seed=3)
+            for _ in range(2)
+        ]
+        first, second = service.infer_many(requests)
+        assert first.batch_size == 2  # actually coalesced
+        assert first.result.energy_j == second.result.energy_j
+        assert first.result.ops_executed == second.result.ops_executed
+
+    def test_response_json_round_trip(self, service_and_responses):
+        _, _, responses = service_and_responses
+        response = responses[0]
+        back = InferenceResponse.from_json(response.to_json())
+        assert back.substrate == response.substrate
+        assert back.batch_size == response.batch_size
+        assert np.array_equal(back.result.mean, response.result.mean)
+        assert back.result.energy_j == response.result.energy_j
+
+
+class TestBatching:
+    def run_async(self, coro):
+        return asyncio.run(coro)
+
+    def test_concurrent_same_seed_requests_coalesce(self, model, inputs):
+        service = make_service(
+            model, ["cim"], batch=BatchPolicy(max_batch=4, max_wait_ms=100)
+        )
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    *(
+                        service.submit(
+                            InferenceRequest(inputs, substrate="cim", seed=0)
+                        )
+                        for _ in range(4)
+                    )
+                )
+
+        responses = self.run_async(drive())
+        assert [r.batch_size for r in responses] == [4] * 4
+        assert [r.group_size for r in responses] == [4] * 4
+        assert service.stats.batches == 1
+        assert service.stats.batched_requests == 4
+
+    def test_mixed_seeds_grouped_within_batch(self, model, inputs):
+        service = make_service(
+            model, ["cim"], batch=BatchPolicy(max_batch=4, max_wait_ms=100)
+        )
+
+        async def drive():
+            async with service:
+                return await asyncio.gather(
+                    *(
+                        service.submit(
+                            InferenceRequest(inputs, substrate="cim", seed=seed)
+                        )
+                        for seed in (0, 0, 9, 0)
+                    )
+                )
+
+        responses = self.run_async(drive())
+        assert [r.batch_size for r in responses] == [4] * 4
+        assert [r.group_size for r in responses] == [3, 3, 1, 3]
+        for seed, response in zip((0, 0, 9, 0), responses):
+            session = service.reference_session("cim")
+            assert_result_equal(
+                response.result, reference_run(session, inputs, seed)
+            )
+
+    def test_max_batch_one_disables_coalescing(self, model, inputs):
+        service = make_service(
+            model, ["cim"], batch=BatchPolicy(max_batch=1, max_wait_ms=0)
+        )
+        responses = service.infer_many(
+            [InferenceRequest(inputs, substrate="cim") for _ in range(3)]
+        )
+        assert [r.batch_size for r in responses] == [1, 1, 1]
+        assert service.stats.batches == 3
+
+    def test_stats_snapshot_counts(self, model, inputs):
+        service = make_service(model, ["cim"])
+        service.infer_many(
+            [InferenceRequest(inputs, substrate="cim") for _ in range(2)]
+        )
+        snapshot = service.stats_snapshot()
+        assert snapshot["received"] == 2
+        assert snapshot["completed"] == 2
+        assert snapshot["failed"] == 0
+        assert snapshot["per_substrate"] == {"cim": 2}
+        assert snapshot["pools"]["cim/default"]["idle"] == 1
+
+
+class TestBackpressure:
+    def test_overload_rejected_not_queued(self, model, inputs):
+        service = make_service(
+            model,
+            ["cim"],
+            batch=BatchPolicy(max_batch=8, max_wait_ms=300.0),
+            queue=QueuePolicy(max_pending=2),
+        )
+
+        async def drive():
+            async with service:
+                request = InferenceRequest(inputs, substrate="cim", seed=0)
+                first = asyncio.ensure_future(service.submit(request))
+                second = asyncio.ensure_future(service.submit(request))
+                await asyncio.sleep(0)  # both admitted, window still open
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    await service.submit(request)
+                assert excinfo.value.pending == 2
+                assert excinfo.value.max_pending == 2
+                return await asyncio.gather(first, second)
+
+        responses = drive()
+        responses = asyncio.run(responses)
+        assert len(responses) == 2
+        assert service.stats.rejected == 1
+        assert service.stats.completed == 2
+
+    def test_unknown_substrate_rejected_at_submit(self, model, inputs):
+        service = make_service(model, ["cim"])
+
+        async def drive():
+            async with service:
+                with pytest.raises(KeyError, match="unknown substrate"):
+                    await service.submit(
+                        InferenceRequest(inputs, substrate="tpu")
+                    )
+                with pytest.raises(KeyError, match="no pool"):
+                    await service.submit(
+                        InferenceRequest(inputs, substrate="digital")
+                    )
+
+        asyncio.run(drive())
+
+    def test_width_mismatch_rejected_at_submit(self, model):
+        service = make_service(model, ["cim"])
+
+        async def drive():
+            async with service:
+                with pytest.raises(ValueError, match="width"):
+                    await service.submit(
+                        InferenceRequest(np.ones((2, 3)), substrate="cim")
+                    )
+
+        asyncio.run(drive())
+
+    def test_submit_requires_started_service(self, model, inputs):
+        service = make_service(model, ["cim"])
+        with pytest.raises(RuntimeError, match="not started"):
+            asyncio.run(
+                service.submit(InferenceRequest(inputs, substrate="cim"))
+            )
+
+    def test_infer_many_refuses_running_service(self, model, inputs):
+        service = make_service(model, ["cim"])
+
+        async def drive():
+            async with service:
+                with pytest.raises(RuntimeError, match="already started"):
+                    service.infer_many(
+                        [InferenceRequest(inputs, substrate="cim")]
+                    )
+
+        asyncio.run(drive())
+
+    def test_service_reusable_across_infer_many_calls(self, model, inputs):
+        service = make_service(model, ["cim"])
+        request = [InferenceRequest(inputs, substrate="cim", seed=4)]
+        first = service.infer_many(request)
+        second = service.infer_many(request)  # fresh event loop, warm pools
+        assert_result_equal(second[0].result, first[0].result)
+
+    def test_execution_failure_wrapped_as_execution_error(
+        self, model, inputs, monkeypatch
+    ):
+        from repro.serve import RequestExecutionError
+        from repro.serve.service import Batcher
+
+        def boom(self, session, batch):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(Batcher, "_execute", boom)
+        service = make_service(model, ["cim"])
+
+        async def drive():
+            async with service:
+                with pytest.raises(
+                    RequestExecutionError, match="engine exploded"
+                ):
+                    await service.submit(
+                        InferenceRequest(inputs, substrate="cim")
+                    )
+
+        asyncio.run(drive())
+        assert service.stats.failed == 1
+
+    def test_shutdown_fails_requests_stuck_behind_sentinel(
+        self, model, inputs
+    ):
+        from repro.serve import RequestExecutionError
+        from repro.serve.service import _SHUTDOWN, _Pending
+
+        service = make_service(model, ["cim"])
+
+        async def drive():
+            await service.start()
+            batcher = service._batchers[("cim", "default")]
+            loop = asyncio.get_running_loop()
+            straggler = _Pending(
+                request=InferenceRequest(inputs, substrate="cim"),
+                future=loop.create_future(),
+                admitted_at=loop.time(),
+            )
+            # A request that lands in the queue after shutdown began must
+            # be failed explicitly, never abandoned to hang its awaiter.
+            batcher._queue.put_nowait(_SHUTDOWN)
+            batcher.put(straggler)
+            await batcher.close()
+            with pytest.raises(RequestExecutionError, match="stopped"):
+                await straggler.future
+            await service.stop()
+
+        asyncio.run(drive())
+
+
+class TestHTTP:
+    @pytest.fixture(scope="class")
+    def server(self, model):
+        service = make_service(
+            model,
+            ["cim", "digital"],
+            batch=BatchPolicy(max_batch=4, max_wait_ms=5.0),
+        )
+        with serve_http(service, port=0) as context:
+            yield context
+
+    def url(self, server, path):
+        return f"http://127.0.0.1:{server.port}{path}"
+
+    def post(self, server, path, body: bytes):
+        request = urllib.request.Request(
+            self.url(server, path),
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        return urllib.request.urlopen(request)
+
+    def test_healthz(self, server):
+        payload = json.loads(
+            urllib.request.urlopen(self.url(server, "/healthz")).read()
+        )
+        assert payload["status"] == "ok"
+        assert payload["substrates"] == ["cim", "digital"]
+        assert payload["started"] is True
+
+    def test_infer_round_trip_parity(self, server, model, inputs):
+        request = InferenceRequest(inputs, substrate="cim", seed=8)
+        raw = self.post(server, "/infer", request.to_json().encode()).read()
+
+        def reject(token):
+            raise AssertionError(f"bare non-finite token {token!r}")
+
+        json.loads(raw.decode(), parse_constant=reject)  # valid JSON only
+        response = InferenceResponse.from_json(raw.decode())
+        session = server.service.reference_session("cim")
+        assert_result_equal(
+            response.result, reference_run(session, inputs, 8)
+        )
+
+    def test_stats_endpoint(self, server):
+        payload = json.loads(
+            urllib.request.urlopen(self.url(server, "/stats")).read()
+        )
+        assert payload["received"] >= 1
+        assert "pools" in payload and "cim/default" in payload["pools"]
+
+    def test_malformed_body_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(server, "/infer", b"{not json")
+        assert excinfo.value.code == 400
+
+    def test_unknown_substrate_is_400(self, server, inputs):
+        body = InferenceRequest(inputs, substrate="tpu").to_json().encode()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(server, "/infer", body)
+        assert excinfo.value.code == 400
+        assert "unknown substrate" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(self.url(server, "/nope"))
+        assert excinfo.value.code == 404
+
+    def test_missing_body_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self.post(server, "/infer", b"")
+        assert excinfo.value.code == 400
+
+    def test_execution_failure_is_500_not_400(self, model, inputs, monkeypatch):
+        # Server-side faults must not masquerade as client errors.
+        from repro.serve.service import Batcher
+
+        def boom(self, session, batch):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(Batcher, "_execute", boom)
+        service = make_service(model, ["cim"])
+        with serve_http(service, port=0) as context:
+            body = InferenceRequest(inputs, substrate="cim").to_json().encode()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self.post(context, "/infer", body)
+            assert excinfo.value.code == 500
+            assert "engine exploded" in json.loads(excinfo.value.read())["error"]
