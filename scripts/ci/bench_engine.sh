@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Engine benchmark gate: `repro bench` exits 1 when the engine fast path
+# times slower than the loop at the reference config.  With BENCH_CHECK=1
+# it also compares the fresh speedup ratios against the committed
+# BENCH_engine.json baseline (read before the fresh file overwrites it)
+# and fails on a >30% regression (BENCH_TOLERANCE overrides).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+EXTRA=()
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+  EXTRA+=(--check --tolerance "${BENCH_TOLERANCE:-0.30}")
+fi
+python -m repro bench --ids E1 --repeats "${BENCH_REPEATS:-3}" \
+  --out /tmp/BENCH_runtime.json --engine-out BENCH_engine.json \
+  "${EXTRA[@]+"${EXTRA[@]}"}"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Serving benchmark gate: `repro bench --suite serve` exits 1 when
+# coalesced serving is not faster than sequential per-request serving,
+# when sharded serving (workers>=2) is not faster than single-process
+# coalesced serving, or when any served response diverges from the
+# pinned-mask reference (values or energy/ops metering).  With
+# BENCH_CHECK=1 it also gates the speedup ratios against the committed
+# BENCH_serve.json baseline (>30% regression fails; BENCH_TOLERANCE
+# overrides).
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+EXTRA=()
+if [ "${BENCH_CHECK:-0}" = "1" ]; then
+  EXTRA+=(--check --tolerance "${BENCH_TOLERANCE:-0.30}")
+fi
+python -m repro bench --suite serve --repeats "${BENCH_REPEATS:-3}" \
+  --serve-out BENCH_serve.json \
+  "${EXTRA[@]+"${EXTRA[@]}"}"

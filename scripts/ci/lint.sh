@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Lint gate: ruff (rule set in pyproject.toml) + a full bytecode compile.
+# Runs locally exactly as in CI:  scripts/ci/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+ruff check src tests scripts
+python -m compileall -q src
+echo "lint: ok"

@@ -1,0 +1,72 @@
+"""HTTP bit-parity check against a running `repro serve` instance.
+
+POSTs one /infer per registered substrate and asserts every response is
+bit-for-bit equal to a direct pinned-mask session run with the same
+seed (values AND energy/ops metering).  Used by scripts/ci/smoke_serve.sh;
+works identically against single-process and sharded (--workers N)
+servers, because the determinism contract does not depend on the
+deployment shape.
+
+Environment:
+    SERVE_URL      base URL (default http://127.0.0.1:8731)
+    N_ITERATIONS   MC depth the server was started with (default 8)
+    WORKERS        shard count the server was started with (default 0);
+                   when > 0 the /stats shard rows are also asserted.
+"""
+
+import json
+import os
+import urllib.request
+
+import numpy as np
+
+from repro.api import available_substrates
+from repro.serve import (
+    InferenceRequest,
+    InferenceResponse,
+    build_reference_session,
+    reference_run,
+)
+from repro.serve.demo import demo_inputs, demo_model
+
+
+def main() -> None:
+    base_url = os.environ.get("SERVE_URL", "http://127.0.0.1:8731")
+    n_iterations = int(os.environ.get("N_ITERATIONS", "8"))
+    workers = int(os.environ.get("WORKERS", "0"))
+
+    model, x = demo_model(), demo_inputs()
+    for substrate in available_substrates():
+        request = InferenceRequest(x, substrate=substrate, seed=3)
+        raw = urllib.request.urlopen(
+            urllib.request.Request(
+                f"{base_url}/infer",
+                data=request.to_json().encode(),
+                headers={"Content-Type": "application/json"},
+            )
+        ).read().decode()
+        response = InferenceResponse.from_json(raw)
+        session = build_reference_session(
+            substrate, model, n_iterations=n_iterations
+        )
+        expected = reference_run(session, x, 3)
+        assert np.array_equal(response.result.mean, expected.mean), substrate
+        assert response.result.energy_j == expected.energy_j, substrate
+        assert response.result.ops_executed == expected.ops_executed, substrate
+        print(
+            f"{substrate}: bit-parity ok "
+            f"(energy_j={response.result.energy_j:.3e})"
+        )
+
+    stats = json.loads(urllib.request.urlopen(f"{base_url}/stats").read())
+    assert stats["completed"] == len(available_substrates()), stats
+    if workers > 0:
+        shards = stats["shards"]
+        assert shards["workers"] == workers, shards
+        assert len(shards["shards"]) == workers, shards
+        assert all(row["alive"] for row in shards["shards"]), shards
+        print(f"shard stats ok ({workers} worker(s))")
+
+
+if __name__ == "__main__":
+    main()

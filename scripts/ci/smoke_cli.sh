@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CLI smoke: list + run paths that every PR must keep working.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+python -m repro list
+python -m repro run E1 --json --seed 0 > /dev/null
+python -m repro run E9 --json \
+  --set n_inputs=32 --set n_outputs=16 \
+  --set n_iterations=8 --set n_trials=1 > /dev/null
+echo "cli smoke: ok"

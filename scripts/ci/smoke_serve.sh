@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Serving smoke: start the HTTP service on the demo model, assert
+# per-substrate HTTP bit-parity (scripts/ci/serve_parity_check.py), then
+# shut down and verify the server exits cleanly (SIGTERM path must also
+# stop any worker shards -- no orphaned children).
+#
+# Environment:
+#   WORKERS=N      shard count (default 0 = single-process)
+#   SERVE_PORT=P   port (default 8731)
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+WORKERS="${WORKERS:-0}"
+SERVE_PORT="${SERVE_PORT:-8731}"
+
+python -m repro serve --port "$SERVE_PORT" --n-iterations 8 \
+  --workers "$WORKERS" > /tmp/serve.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 120); do
+  curl -sf "http://127.0.0.1:${SERVE_PORT}/healthz" > /dev/null && break
+  sleep 0.5
+done
+curl -sf "http://127.0.0.1:${SERVE_PORT}/healthz" > /dev/null
+
+SERVE_URL="http://127.0.0.1:${SERVE_PORT}" N_ITERATIONS=8 WORKERS="$WORKERS" \
+  python scripts/ci/serve_parity_check.py
+
+kill "$SERVE_PID"
+for _ in $(seq 1 60); do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.5
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "error: serve process did not exit after SIGTERM" >&2
+  cat /tmp/serve.log >&2
+  exit 1
+fi
+trap - EXIT
+echo "serve smoke: ok (workers=$WORKERS)"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Parallel sweep + run-store smoke: grid execution over a process pool,
+# streamed store, report round-trip.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+STORE="$(mktemp -d)/repro-store"
+python -m repro sweep E9 --seeds 0,1 --workers 2 \
+  --store "$STORE" \
+  --set n_inputs=32 --set n_outputs=16 \
+  --set n_iterations=8 --set n_trials=1
+python -m repro report "$STORE"
+echo "sweep smoke: ok"

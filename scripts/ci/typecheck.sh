@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Typecheck gate for the typed layers (serving + runtime); config in
+# pyproject.toml.  Runs locally exactly as in CI:  scripts/ci/typecheck.sh
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+mypy --ignore-missing-imports src/repro/serve src/repro/runtime
+echo "typecheck: ok"

@@ -11,8 +11,10 @@ Subcommands::
     python -m repro report STORE [--json]
     python -m repro bench [--suite core|serve|all] [--ids E1 E5 ...]
                           [--repeats N] [--out PATH]
+                          [--check] [--tolerance FRAC]
     python -m repro serve [--port 8000] [--substrates cim,digital]
                           [--max-batch N] [--max-wait-ms MS] [--max-pending N]
+                          [--workers N]
 
 ``run`` executes experiments through :mod:`repro.api.registry` and prints
 metrics (or a machine-readable ``ExperimentResult`` with ``--json``);
@@ -28,10 +30,15 @@ configs plus the batched-session path (``BENCH_runtime.json``) and the
 CIM engine's loop-vs-sample-major fast path plus the macro's fused
 ``matvec_many`` (``BENCH_engine.json``), exiting non-zero if the fast
 path is slower than the loop at the reference config; ``bench --suite
-serve`` times request serving (``BENCH_serve.json``), exiting non-zero
-if coalesced serving is not faster than sequential per-request serving.
+serve`` times request serving (``BENCH_serve.json``) -- sequential vs
+coalesced vs sharded (worker processes) -- exiting non-zero if coalesced
+serving is not faster than sequential per-request serving or sharded
+serving is not faster than coalesced.  ``bench --check`` additionally
+compares the fresh speedup ratios against the committed baseline files
+and exits non-zero on a >``--tolerance`` throughput regression.
 ``serve`` stands up the :mod:`repro.serve` HTTP service on the built-in
-demo model.
+demo model; ``--workers N`` shards execution over N spawned worker
+processes with the same bit-for-bit response contract.
 """
 
 from __future__ import annotations
@@ -430,7 +437,9 @@ def _bench_macro_matvec(repeats: int) -> dict:
 # Reference config for the serving benchmark (BENCH_serve.json): the
 # demo model at MC depth 32, where drawing + Hamming-ordering the mask
 # streams is roughly half of each request's cost -- the share coalescing
-# amortises across every same-seed request in a micro-batch.
+# amortises across every same-seed request in a micro-batch.  The
+# sharded case splits the same request set into workers-many micro-
+# batches that execute on separate processes (separate cores).
 _SERVE_BENCH = {
     "substrate": "cim-ordered",
     "n_requests": 16,
@@ -438,6 +447,8 @@ _SERVE_BENCH = {
     "request_batch": 4,
     "max_batch": 16,
     "max_wait_ms": 30.0,
+    "workers": 2,
+    "sharded_max_batch": 8,
 }
 
 
@@ -475,8 +486,10 @@ def _bench_serve(repeats: int) -> dict:
             reference_run(session, request.inputs, request.seed)
         direct_laps.append(time.perf_counter() - start)
 
-    def service_laps(max_batch: int, max_wait_ms: float):
+    def service_laps(max_batch: int, max_wait_ms: float, workers: int = 0):
         import asyncio
+
+        from repro.runtime import ShardPolicy
 
         service = InferenceService(
             model,
@@ -484,14 +497,16 @@ def _bench_serve(repeats: int) -> dict:
             n_iterations=cfg["n_iterations"],
             batch=BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms),
             queue=QueuePolicy(max_pending=cfg["n_requests"]),
+            shard=ShardPolicy(workers=workers),
         )
 
         async def drive():
             # Steady-state throughput: warm-up and lifecycle live outside
-            # the timed laps, like a long-running server.
+            # the timed laps, like a long-running server.  The warm-up
+            # lap uses the full request set so every shard gets touched.
             async with service:
                 await asyncio.gather(
-                    *(service.submit(r) for r in requests[:1])
+                    *(service.submit(r) for r in requests)
                 )
                 laps, responses = [], None
                 for _ in range(repeats):
@@ -508,23 +523,31 @@ def _bench_serve(repeats: int) -> dict:
     coalesced_laps, coalesced = service_laps(
         cfg["max_batch"], cfg["max_wait_ms"]
     )
+    # Sharded scale-out: the same load split over worker processes --
+    # smaller micro-batches, but they execute on separate cores.
+    sharded_laps, sharded = service_laps(
+        cfg["sharded_max_batch"], cfg["max_wait_ms"], workers=cfg["workers"]
+    )
     # Full-reference parity on every served response (both modes): the
     # values *and* the per-request metering must match the pinned-mask
     # oracle exactly -- a metering bleed across coalesced requests is as
     # much a failure as a wrong mean.
     parity = max(
         float(np.max(np.abs(resp.result.mean - reference.mean)))
-        for resp in batch1 + coalesced
+        for resp in batch1 + coalesced + sharded
     )
     metering_parity = all(
         resp.result.energy_j == reference.energy_j
         and resp.result.ops_executed == reference.ops_executed
         and np.array_equal(resp.result.variance, reference.variance)
-        for resp in batch1 + coalesced
+        for resp in batch1 + coalesced + sharded
     )
     n = cfg["n_requests"]
-    direct_s, batch1_s, coalesced_s = (
-        min(direct_laps), min(batch1_laps), min(coalesced_laps)
+    direct_s, batch1_s, coalesced_s, sharded_s = (
+        min(direct_laps),
+        min(batch1_laps),
+        min(coalesced_laps),
+        min(sharded_laps),
     )
     return {
         "case": "serve-coalescing",
@@ -533,26 +556,35 @@ def _bench_serve(repeats: int) -> dict:
         "direct_s": direct_s,
         "service_batch1_s": batch1_s,
         "service_coalesced_s": coalesced_s,
+        "service_sharded_s": sharded_s,
         "direct_rps": n / direct_s,
         "service_batch1_rps": n / batch1_s,
         "service_coalesced_rps": n / coalesced_s,
+        "service_sharded_rps": n / sharded_s,
         "speedup_vs_direct": direct_s / coalesced_s,
         "speedup_vs_batch1": batch1_s / coalesced_s,
+        "speedup_sharded_vs_coalesced": coalesced_s / sharded_s,
         "mean_batch_size_coalesced": len(coalesced) and (
             sum(r.batch_size for r in coalesced) / len(coalesced)
+        ),
+        "mean_batch_size_sharded": len(sharded) and (
+            sum(r.batch_size for r in sharded) / len(sharded)
         ),
         "parity_max_abs_diff": parity,
         "parity_metering_exact": metering_parity,
     }
 
 
-def _run_serve_bench(args: argparse.Namespace) -> int:
+def _run_serve_bench(args: argparse.Namespace) -> tuple[int, dict]:
     entry = _bench_serve(args.repeats)
     print(
         f"  {entry['case']}: direct={entry['direct_rps']:.1f} req/s "
         f"batch1={entry['service_batch1_rps']:.1f} req/s "
         f"coalesced={entry['service_coalesced_rps']:.1f} req/s "
-        f"({entry['speedup_vs_direct']:.2f}x vs direct)"
+        f"sharded(x{entry['workers']})={entry['service_sharded_rps']:.1f} "
+        f"req/s ({entry['speedup_vs_direct']:.2f}x vs direct, "
+        f"{entry['speedup_sharded_vs_coalesced']:.2f}x sharded vs "
+        "coalesced)"
     )
     payload = {"version": __version__, "serve": entry}
     out = Path(args.serve_out)
@@ -566,11 +598,91 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             f"metering exact: {entry['parity_metering_exact']})",
             file=sys.stderr,
         )
-        return 1
+        return 1, payload
     if entry["speedup_vs_direct"] <= 1.0:
         print(
             "error: coalesced serving is not faster than sequential "
             f"session.run() serving ({entry['speedup_vs_direct']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1, payload
+    if entry["speedup_sharded_vs_coalesced"] <= 1.0:
+        print(
+            f"error: sharded serving (workers={entry['workers']}) is not "
+            "faster than single-process coalesced serving "
+            f"({entry['speedup_sharded_vs_coalesced']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1, payload
+    return 0, payload
+
+
+# Throughput-proxy metrics compared by `repro bench --check`: machine-
+# relative ratios (fast vs slow path on the same box), so a committed
+# baseline from one machine transfers to CI runners.  Each entry maps a
+# metric label to a path into the fresh/baseline JSON payload.
+_CHECK_METRICS: dict[str, tuple[str, ...]] = {
+    "engine.reference.speedup": ("engine", "reference", "speedup"),
+    "serve.speedup_vs_direct": ("serve", "serve", "speedup_vs_direct"),
+    "serve.speedup_sharded_vs_coalesced": (
+        "serve", "serve", "speedup_sharded_vs_coalesced",
+    ),
+}
+
+
+def _dig(payload: dict, path: tuple[str, ...]):
+    node = payload
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _load_baselines(args: argparse.Namespace) -> dict[str, dict]:
+    """Read the committed baseline files *before* the bench overwrites
+    them (fresh outputs may use the same paths)."""
+    baselines: dict[str, dict] = {}
+    wanted = []
+    if args.suite in ("core", "all"):
+        wanted.append(("engine", args.baseline_engine))
+    if args.suite in ("serve", "all"):
+        wanted.append(("serve", args.baseline_serve))
+    for kind, path in wanted:
+        baseline_path = Path(path)
+        if not baseline_path.exists():
+            raise FileNotFoundError(
+                f"bench --check needs a committed baseline at "
+                f"{baseline_path} (run `repro bench` once and commit the "
+                "output, or point --baseline-engine/--baseline-serve at it)"
+            )
+        baselines[kind] = json.loads(baseline_path.read_text())
+    return baselines
+
+
+def _check_regression(
+    fresh: dict[str, dict], baselines: dict[str, dict], tolerance: float
+) -> int:
+    """Fail when a fresh throughput ratio regressed past the tolerance."""
+    failures = []
+    print(f"\nbench regression check (tolerance {tolerance:.0%}):")
+    for label, path in _CHECK_METRICS.items():
+        fresh_value = _dig(fresh, path)
+        base_value = _dig(baselines, path)
+        if fresh_value is None or base_value is None or base_value <= 0:
+            continue  # metric absent from this suite selection / baseline
+        floor = base_value * (1.0 - tolerance)
+        regressed = fresh_value < floor
+        print(
+            f"  {label}: fresh={fresh_value:.2f} baseline={base_value:.2f} "
+            f"floor={floor:.2f} {'FAIL' if regressed else 'ok'}"
+        )
+        if regressed:
+            failures.append(label)
+    if failures:
+        print(
+            f"error: throughput regression >{tolerance:.0%} vs committed "
+            f"baseline in: {', '.join(failures)}",
             file=sys.stderr,
         )
         return 1
@@ -578,15 +690,23 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    baselines: dict[str, dict] = {}
+    if args.check:
+        baselines = _load_baselines(args)
     codes = []
+    fresh: dict[str, dict] = {}
     if args.suite in ("core", "all"):
-        codes.append(_run_core_bench(args))
+        code, fresh["engine"] = _run_core_bench(args)
+        codes.append(code)
     if args.suite in ("serve", "all"):
-        codes.append(_run_serve_bench(args))
+        code, fresh["serve"] = _run_serve_bench(args)
+        codes.append(code)
+    if args.check:
+        codes.append(_check_regression(fresh, baselines, args.tolerance))
     return max(codes)
 
 
-def _run_core_bench(args: argparse.Namespace) -> int:
+def _run_core_bench(args: argparse.Namespace) -> tuple[int, dict]:
     ids = [eid.upper() for eid in (args.ids or list(_BENCH_CONFIGS))]
     benchmarks = []
     for experiment_id in ids:
@@ -652,12 +772,14 @@ def _run_core_bench(args: argparse.Namespace) -> int:
             f"reference config ({reference['speedup']:.2f}x)",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        return 1, engine_payload
+    return 0, engine_payload
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.runtime import BatchPolicy, QueuePolicy
+    import signal
+
+    from repro.runtime import BatchPolicy, QueuePolicy, ShardPolicy
     from repro.serve import InferenceService
     from repro.serve.demo import demo_model
     from repro.serve.http import serve_http
@@ -671,9 +793,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms
         ),
         queue=QueuePolicy(max_pending=args.max_pending),
+        shard=ShardPolicy(workers=args.workers),
         pool_size=args.pool_size,
         session_seed=args.session_seed,
     )
+
+    # SIGTERM must unwind through the finally below (the default handler
+    # would kill the process without running it): the service owns worker
+    # shards that have to be stopped with a deadline, never orphaned.
+    # (WorkerPool also registers an atexit guard as a second layer.)
+    def _terminate(signum, frame):
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
     context = serve_http(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
@@ -683,7 +815,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving {', '.join(described['substrates'])} on "
             f"http://{args.host}:{context.port} "
             f"(max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms}, "
-            f"max_pending={args.max_pending}, pool_size={args.pool_size})",
+            f"max_pending={args.max_pending}, pool_size={args.pool_size}, "
+            f"workers={args.workers})",
             flush=True,
         )
         print("endpoints: POST /infer, GET /healthz, GET /stats", flush=True)
@@ -802,7 +935,35 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_serve.json",
         metavar="PATH",
         help="serving-throughput output for --suite serve/all "
-        "(exit 1 if coalescing is not faster than sequential serving)",
+        "(exit 1 if coalescing is not faster than sequential serving, "
+        "or if sharded serving is not faster than coalesced)",
+    )
+    bench_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression gate: compare the fresh speedup ratios against "
+        "the committed baselines (read before the fresh files are "
+        "written) and exit 1 on a regression beyond --tolerance",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="allowed fractional throughput regression for --check "
+        "(default 0.30 = 30%%)",
+    )
+    bench_parser.add_argument(
+        "--baseline-engine",
+        default="BENCH_engine.json",
+        metavar="PATH",
+        help="committed engine baseline compared by --check",
+    )
+    bench_parser.add_argument(
+        "--baseline-serve",
+        default="BENCH_serve.json",
+        metavar="PATH",
+        help="committed serving baseline compared by --check",
     )
     bench_parser.set_defaults(handler=_cmd_bench)
 
@@ -836,8 +997,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded admission: beyond this, /infer rejects with 503",
     )
     serve_parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="worker shard processes; 0 (default) serves in-process, "
+        "N >= 1 fans micro-batches out over N spawned shards, each with "
+        "its own calibrated session pools (same bits, more cores)",
+    )
+    serve_parser.add_argument(
         "--pool-size", type=int, default=1, metavar="N",
-        help="pre-warmed sessions per (substrate, model) pair",
+        help="pre-warmed sessions per (substrate, model) pair "
+        "(in-process mode; with --workers, concurrency comes from "
+        "the shard count instead)",
     )
     serve_parser.add_argument(
         "--model-seed", type=int, default=0, metavar="N",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import ast
 import dataclasses
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 

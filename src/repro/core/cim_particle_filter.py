@@ -16,7 +16,7 @@ backends so the paper's comparisons (Fig. 2e-i) are one argument away:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -27,7 +27,6 @@ from repro.circuits.technology import NODE_45NM, TechnologyNode
 from repro.circuits.variability import MismatchSampler
 from repro.core.codesign import (
     CoDesignReport,
-    hardware_sigma_menu,
     program_inverter_array,
 )
 from repro.core.tiling import (

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.circuits.adc import LogarithmicADC
-from repro.circuits.inverter import WIDTH_SCALES, width_code_sigmas
+from repro.circuits.inverter import width_code_sigmas
 from repro.circuits.inverter_array import (
     InverterArray,
     InverterColumn,

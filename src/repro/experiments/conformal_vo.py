@@ -16,7 +16,6 @@ from repro.bayesian.conformal import (
     SplitConformalRegressor,
 )
 from repro.bayesian.mc_dropout import MCDropoutPredictor
-from repro.bayesian.metrics import interval_coverage
 from repro.experiments.common import build_vo_world
 from repro.vo.features import occlude_depth, pose_to_target
 

@@ -7,7 +7,7 @@ and resample when the effective sample size collapses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -39,7 +39,7 @@ from repro.runtime.executor import (
     run_plan,
 )
 from repro.runtime.plan import JobSpec, Plan
-from repro.runtime.policy import BatchPolicy, QueuePolicy
+from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy
 from repro.runtime.store import RunStore
 
 __all__ = [
@@ -51,5 +51,6 @@ __all__ = [
     "Plan",
     "QueuePolicy",
     "RunStore",
+    "ShardPolicy",
     "run_plan",
 ]

@@ -129,7 +129,11 @@ class ExecutionReport:
     @property
     def results(self) -> list[ExperimentResult]:
         """Successful results, in plan order."""
-        return [record.result for record in self.records if record.ok]
+        return [
+            record.result
+            for record in self.records
+            if record.ok and record.result is not None
+        ]
 
     @property
     def errors(self) -> list[JobRecord]:

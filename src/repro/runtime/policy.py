@@ -61,4 +61,48 @@ class QueuePolicy:
             )
 
 
-__all__ = ["BatchPolicy", "QueuePolicy"]
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Horizontal scale-out: how work fans out over worker processes.
+
+    The serving layer (:mod:`repro.serve.workers`) spawns ``workers``
+    shard processes, each owning its own calibrated session pools, and
+    routes every assembled micro-batch to the least-loaded live shard.
+
+    Attributes:
+        workers: shard process count; 0 (default) keeps execution
+            in-process (the single-process coalescing path).
+        affinity: prefer, among equally loaded shards, one that has
+            already served the batch's substrate, so per-substrate
+            calibration/cache state stays warm instead of ping-ponging.
+        respawn: replace a dead shard with a fresh spawn (in-flight
+            requests on the dead shard are failed with a retryable 503
+            either way).
+        join_timeout_s: shutdown deadline -- shards that have not exited
+            by then are terminated, then killed, so no worker process
+            can outlive the service.
+        spawn_timeout_s: how long dispatch waits for a live, warmed
+            shard (covers initial warm-up and post-crash respawn) before
+            rejecting with a retryable 503.
+    """
+
+    workers: int = 0
+    affinity: bool = True
+    respawn: bool = True
+    join_timeout_s: float = 5.0
+    spawn_timeout_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.join_timeout_s <= 0:
+            raise ValueError(
+                f"join_timeout_s must be > 0, got {self.join_timeout_s}"
+            )
+        if self.spawn_timeout_s <= 0:
+            raise ValueError(
+                f"spawn_timeout_s must be > 0, got {self.spawn_timeout_s}"
+            )
+
+
+__all__ = ["BatchPolicy", "QueuePolicy", "ShardPolicy"]

@@ -180,7 +180,11 @@ class RunStore:
 
     def results(self) -> list[ExperimentResult]:
         """Successful results, in plan order."""
-        return [record.result for record in self.records() if record.ok]
+        return [
+            record.result
+            for record in self.records()
+            if record.ok and record.result is not None
+        ]
 
     def errors(self) -> list[JobRecord]:
         """Failed records (traceback in ``record.error``)."""

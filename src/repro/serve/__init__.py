@@ -11,12 +11,17 @@ with results that stay bit-for-bit equal to a standalone pinned-mask
   wire encoding) and :class:`ServiceOverloaded`.
 - :mod:`repro.serve.pool` -- :class:`SessionPool`: pre-warmed, cloned,
   calibrated sessions per (substrate, model) pair.
+- :mod:`repro.serve.execution` -- the one micro-batch execution path
+  every backend shares; :func:`reference_run` is the determinism oracle.
 - :mod:`repro.serve.service` -- :class:`InferenceService` /
   :class:`Batcher`: asyncio submission, ``(max_batch, max_wait_ms)``
-  coalescing, bounded-queue backpressure, per-request scoped metering;
-  :func:`reference_run` is the determinism oracle.
+  coalescing, bounded-queue backpressure, per-request scoped metering.
+- :mod:`repro.serve.workers` -- :class:`WorkerPool` /
+  :class:`WorkerSpec`: sharded scale-out over spawned worker processes
+  (least-loaded + substrate-affinity routing, crash detection with 503
+  + respawn), selected with ``ShardPolicy(workers=N)``.
 - :mod:`repro.serve.http` -- stdlib HTTP endpoint (``/infer``,
-  ``/healthz``, ``/stats``) behind ``repro serve``.
+  ``/healthz``, ``/stats``) behind ``repro serve [--workers N]``.
 - :mod:`repro.serve.demo` -- the deterministic quickstart model.
 
 Quick start::
@@ -31,7 +36,7 @@ Quick start::
     response.result.mean, response.result.energy_j
 """
 
-from repro.runtime.policy import BatchPolicy, QueuePolicy
+from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy
 from repro.serve.pool import (
     SessionPool,
     build_reference_session,
@@ -49,7 +54,9 @@ from repro.serve.types import (
     InferenceResponse,
     RequestExecutionError,
     ServiceOverloaded,
+    WorkerCrashed,
 )
+from repro.serve.workers import WorkerPool, WorkerSpec
 
 __all__ = [
     "BatchPolicy",
@@ -63,6 +70,10 @@ __all__ = [
     "ServiceOverloaded",
     "ServiceStats",
     "SessionPool",
+    "ShardPolicy",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerSpec",
     "build_reference_session",
     "default_calibration_inputs",
     "reference_run",

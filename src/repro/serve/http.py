@@ -8,10 +8,14 @@ threads bridge into the service's asyncio loop with
   JSON object (``inputs`` as nested lists or a tagged ndarray).  Returns
   the :class:`~repro.serve.InferenceResponse` (200), a client error for
   malformed requests / unknown substrates / width mismatches (400), or
-  an explicit overload rejection (503) when the bounded queue is full.
+  a retryable 503 when the bounded queue is full **or** a worker shard
+  died mid-flight (:class:`~repro.serve.types.WorkerCrashed` is a
+  :class:`~repro.serve.ServiceOverloaded` -- the shard respawns, the
+  client retries; a dead shard never hangs a request).
 - ``GET /healthz`` -- static service configuration, 200 when serving.
 - ``GET /stats``   -- live counters (requests, batches, rejections,
-  per-substrate tallies, pool idle states).
+  per-substrate tallies, pool idle states, and -- when sharded -- one
+  row per worker shard with queue depth and dispatch ages).
 
 Every body is emitted with :func:`repro.api.results.strict_dumps`, so
 the wire never carries bare ``NaN`` / ``Infinity`` tokens: non-finite
@@ -32,6 +36,7 @@ from repro.serve.types import (
     InferenceRequest,
     RequestExecutionError,
     ServiceOverloaded,
+    WorkerCrashed,
 )
 
 REQUEST_TIMEOUT_S = 300.0
@@ -87,14 +92,21 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             response = future.result(timeout=REQUEST_TIMEOUT_S)
         except ServiceOverloaded as error:
-            self._reply(
-                503,
-                {
+            if isinstance(error, WorkerCrashed):
+                # Shard death, not an admission bound: report which
+                # shard died instead of a meaningless queue limit.
+                payload = {
+                    "error": str(error),
+                    "shard": error.shard,
+                    "pending": error.pending,
+                }
+            else:
+                payload = {
                     "error": str(error),
                     "pending": error.pending,
                     "max_pending": error.max_pending,
-                },
-            )
+                }
+            self._reply(503, payload)
         except RequestExecutionError as error:
             # Engine/session failure while executing the micro-batch: a
             # server-side fault, never the client's request.

@@ -149,6 +149,21 @@ class SessionPool:
         """Borrow an idle session (waits if every member is busy)."""
         return await self._idle.get()
 
+    def acquire_nowait(self) -> MCDropoutSession:
+        """Borrow an idle session without an event loop.
+
+        Worker shards (:mod:`repro.serve.workers`) process one batch at
+        a time from a plain loop, so they borrow synchronously; raises
+        if every member is busy rather than blocking.
+        """
+        try:
+            return self._idle.get_nowait()
+        except asyncio.QueueEmpty:
+            raise RuntimeError(
+                f"no idle session in pool of {self.size} "
+                f"({self.substrate.name})"
+            ) from None
+
     def release(self, session: MCDropoutSession) -> None:
         """Return a borrowed session to the pool."""
         self._idle.put_nowait(session)

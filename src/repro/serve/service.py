@@ -14,11 +14,20 @@ requests**:
   :class:`~repro.runtime.BatchPolicy` ``(max_batch, max_wait_ms)``
   window, amortising dropout-mask drawing and the O(T^2) ordering search
   across every same-seed request in the batch.
+- Execution is pluggable: micro-batches run either on worker threads
+  over the in-process :class:`~repro.serve.pool.SessionPool`
+  (:class:`LocalBackend`, the default) or fanned out across spawned
+  shard processes (:class:`ShardedBackend` over a
+  :class:`~repro.serve.workers.WorkerPool`) when the
+  :class:`~repro.runtime.policy.ShardPolicy` asks for ``workers >= 1``
+  -- same request path, same bits, N cores.
 - Results are deterministic **per request**: each response is bit-for-bit
   what :func:`reference_run` produces on a fresh identically-built
-  session with the same seed, no matter how the request was batched, and
-  each response's ops/energy come from the engine's scoped per-call
-  ledgers, so concurrent requests never bleed metering into each other.
+  session with the same seed, no matter how the request was batched or
+  which shard served it, and each response's ops/energy come from the
+  engine's scoped per-call ledgers (living in whichever process executed
+  the batch), so concurrent requests never bleed metering into each
+  other.
 
 Use it in-process (async)::
 
@@ -43,9 +52,15 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.api.substrates import MaskPlan, MCDropoutSession, available_substrates
+from repro.api.substrates import MCDropoutSession, available_substrates
 from repro.nn.sequential import Sequential
-from repro.runtime.policy import BatchPolicy, QueuePolicy
+from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy
+from repro.serve.execution import (
+    Outcome,
+    RequestItem,
+    reference_run,
+    run_grouped,
+)
 from repro.serve.pool import SessionPool
 from repro.serve.types import (
     DEFAULT_MODEL,
@@ -55,36 +70,7 @@ from repro.serve.types import (
     ServiceOverloaded,
 )
 
-
-def reference_run(
-    session: MCDropoutSession, inputs: np.ndarray, seed: int
-):
-    """The per-request determinism oracle.
-
-    One base generator seeded with the request seed draws (and orders)
-    the mask plan, then the *same* generator -- now advanced past the
-    draw -- feeds the pinned-mask run.  The service reproduces this
-    exactly for every request by snapshotting the post-draw generator
-    state and handing each coalesced item a generator restored to it.
-    """
-    base = np.random.default_rng(seed)
-    plan = session.draw_masks(base)
-    return session.run(inputs, rng=base, masks=plan)
-
-
-def _post_draw_generators(
-    session: MCDropoutSession, seed: int, count: int
-) -> tuple[MaskPlan, list[np.random.Generator]]:
-    """One shared mask plan plus ``count`` identical post-draw generators."""
-    base = np.random.default_rng(seed)
-    plan = session.draw_masks(base)
-    state = base.bit_generator.state
-    generators = []
-    for _ in range(count):
-        generator = np.random.default_rng(0)
-        generator.bit_generator.state = state
-        generators.append(generator)
-    return plan, generators
+PairKey = tuple[str, str]
 
 
 @dataclass
@@ -129,26 +115,72 @@ class _Pending:
 _SHUTDOWN = object()
 
 
-class Batcher:
-    """Coalesces one pool's requests into run_batch micro-batches.
+class LocalBackend:
+    """Executes micro-batches on worker threads over in-process pools.
 
-    The collection loop takes the first waiting request, then keeps
-    accepting company until the batch hits ``policy.max_batch`` or the
-    first request has waited ``policy.max_wait_ms``; the assembled batch
-    is dispatched as a task so collection continues while the pool
-    executes it (pool width bounds per-pair concurrency).
+    The single-process path: borrow a pre-warmed session from the pair's
+    :class:`SessionPool`, run :func:`~repro.serve.execution.run_grouped`
+    on the shared thread pool, return the session.  Pool width bounds
+    per-pair concurrency.
     """
 
     def __init__(
         self,
-        pool: SessionPool,
-        policy: BatchPolicy,
+        pools: Mapping[PairKey, SessionPool],
         executor: ThreadPoolExecutor,
+    ):
+        self._pools = dict(pools)
+        self._executor = executor
+
+    async def execute(
+        self, key: PairKey, items: Sequence[RequestItem]
+    ) -> list[Outcome]:
+        loop = asyncio.get_running_loop()
+        pool = self._pools[key]
+        session = await pool.acquire()
+        try:
+            return await loop.run_in_executor(
+                self._executor, run_grouped, session, key[0], key[1], items
+            )
+        finally:
+            pool.release(session)
+
+
+class ShardedBackend:
+    """Executes micro-batches across a :class:`~repro.serve.workers.
+    WorkerPool` of shard processes (see :mod:`repro.serve.workers`)."""
+
+    def __init__(self, worker_pool: Any):
+        self._worker_pool = worker_pool
+
+    async def execute(
+        self, key: PairKey, items: Sequence[RequestItem]
+    ) -> list[Outcome]:
+        return await self._worker_pool.execute(key, items)
+
+
+class Batcher:
+    """Coalesces one (substrate, model) pair's requests into micro-batches.
+
+    The collection loop takes the first waiting request, then keeps
+    accepting company until the batch hits ``policy.max_batch`` or the
+    first request has waited ``policy.max_wait_ms``; the assembled batch
+    is dispatched as a task so collection continues while the backend
+    executes it (backend capacity -- pool width or shard count -- bounds
+    per-pair concurrency).
+    """
+
+    def __init__(
+        self,
+        key: PairKey,
+        policy: BatchPolicy,
+        backend: LocalBackend | ShardedBackend,
         stats: ServiceStats,
     ):
-        self.pool = pool
+        self.key = key
+        self.substrate = key[0]
         self.policy = policy
-        self._executor = executor
+        self._backend = backend
         self._stats = stats
         self._queue: asyncio.Queue = asyncio.Queue()
         self._task: asyncio.Task | None = None
@@ -225,17 +257,21 @@ class Batcher:
         )
         if len(batch) > 1:
             self._stats.batched_requests += len(batch)
-        session = await self.pool.acquire()
+        items: list[RequestItem] = [
+            (p.request.inputs, p.request.seed, p.request.request_id)
+            for p in batch
+        ]
+        outcomes: Sequence[Any]
         try:
-            outcomes = await loop.run_in_executor(
-                self._executor, self._execute, session, batch
-            )
-        except Exception as error:  # pool-level failure: fail every item
+            outcomes = await self._backend.execute(self.key, items)
+        except ServiceOverloaded as error:
+            # Shard death (WorkerCrashed) or exhausted capacity: the
+            # whole batch gets the retryable 503, never a hung future.
+            outcomes = [error] * len(batch)
+        except Exception as error:  # backend-level failure: fail every item
             wrapped = RequestExecutionError(f"{type(error).__name__}: {error}")
             wrapped.__cause__ = error
             outcomes = [wrapped] * len(batch)
-        finally:
-            self.pool.release(session)
         for pending, outcome in zip(batch, outcomes):
             if pending.future.done():
                 continue
@@ -244,59 +280,12 @@ class Batcher:
                 pending.future.set_exception(outcome)
             else:
                 self._stats.completed += 1
-                name = self.pool.substrate.name
-                self._stats.per_substrate[name] = (
-                    self._stats.per_substrate.get(name, 0) + 1
+                self._stats.per_substrate[self.substrate] = (
+                    self._stats.per_substrate.get(self.substrate, 0) + 1
                 )
                 outcome.queue_s = started_at - pending.admitted_at
                 outcome.total_s = loop.time() - pending.admitted_at
                 pending.future.set_result(outcome)
-
-    def _execute(
-        self, session: MCDropoutSession, batch: list[_Pending]
-    ) -> list[Any]:
-        """Run one micro-batch on a borrowed session (worker thread).
-
-        Items are grouped by seed; each group shares one mask-plan draw
-        and every item gets a generator restored to the post-draw state,
-        which is exactly what :func:`reference_run` would hand a
-        standalone run -- so coalescing changes throughput, never bits.
-        """
-        groups: dict[int, list[int]] = {}
-        for index, pending in enumerate(batch):
-            groups.setdefault(pending.request.seed, []).append(index)
-        outcomes: list[Any] = [None] * len(batch)
-        for seed, indexes in groups.items():
-            try:
-                plan, generators = _post_draw_generators(
-                    session, seed, len(indexes)
-                )
-                result = session.run_batch(
-                    [batch[i].request.inputs for i in indexes],
-                    masks=plan,
-                    item_rngs=generators,
-                )
-                for position, index in enumerate(indexes):
-                    request = batch[index].request
-                    outcomes[index] = InferenceResponse(
-                        result=result.results[position],
-                        substrate=self.pool.substrate.name,
-                        model=request.model,
-                        seed=seed,
-                        request_id=request.request_id,
-                        batch_size=len(batch),
-                        group_size=len(indexes),
-                    )
-            except Exception as error:
-                # Mark it as an *execution* failure (vs a submission-time
-                # client error) so transports can answer 500, not 400.
-                wrapped = RequestExecutionError(
-                    f"{type(error).__name__}: {error}"
-                )
-                wrapped.__cause__ = error
-                for index in indexes:
-                    outcomes[index] = wrapped
-        return outcomes
 
 
 class InferenceService:
@@ -311,7 +300,13 @@ class InferenceService:
         n_iterations: MC-Dropout depth of every session.
         batch: micro-batching policy (see :class:`BatchPolicy`).
         queue: admission policy (see :class:`QueuePolicy`).
-        pool_size: pre-warmed sessions per (substrate, model) pair.
+        shard: scale-out policy (see :class:`~repro.runtime.policy.
+            ShardPolicy`); ``workers >= 1`` fans micro-batches out over
+            that many spawned shard processes, each owning its own
+            calibrated session pools (default: in-process execution).
+        pool_size: pre-warmed sessions per (substrate, model) pair
+            (in-process mode; shard processes execute serially and pin
+            their pool width to 1 -- add shards for concurrency).
         calibration_inputs: representative activations for session
             calibration (default: deterministic synthetic ones).
         session_seed: hardware-instantiation seed shared by every pool
@@ -326,6 +321,7 @@ class InferenceService:
         n_iterations: int = 30,
         batch: BatchPolicy | None = None,
         queue: QueuePolicy | None = None,
+        shard: ShardPolicy | None = None,
         pool_size: int = 1,
         calibration_inputs: np.ndarray | None = None,
         session_seed: int = 0,
@@ -349,12 +345,23 @@ class InferenceService:
         self.n_iterations = int(n_iterations)
         self.batch_policy = batch or BatchPolicy()
         self.queue_policy = queue or QueuePolicy()
+        self.shard_policy = shard or ShardPolicy()
         self.pool_size = int(pool_size)
         self.calibration_inputs = calibration_inputs
         self.session_seed = int(session_seed)
-        self._pools: dict[tuple[str, str], SessionPool] = {}
-        self._batchers: dict[tuple[str, str], Batcher] = {}
+        self._keys: set[PairKey] = {
+            (substrate, model)
+            for substrate in self.substrates
+            for model in self.models
+        }
+        self._in_features = {
+            name: model.dense_layers()[0].weight.value.shape[0]
+            for name, model in self.models.items()
+        }
+        self._pools: dict[PairKey, SessionPool] = {}
+        self._batchers: dict[PairKey, Batcher] = {}
         self._executor: ThreadPoolExecutor | None = None
+        self._worker_pool: Any = None
         self._pending = 0
         self._started = False
         self._started_at: float | None = None
@@ -363,46 +370,81 @@ class InferenceService:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Warm the pools and start the batchers (idempotent)."""
+        """Warm the execution backend and start the batchers (idempotent).
+
+        In-process mode warms one :class:`SessionPool` per pair; sharded
+        mode (``shard.workers >= 1``) spawns the worker shards instead
+        and waits until every shard has warmed its own pools.
+        """
         if self._started:
             return
-        if not self._pools:
-            for substrate in self.substrates:
-                for model_name, model in self.models.items():
-                    self._pools[(substrate, model_name)] = SessionPool(
-                        substrate,
-                        model,
+        backend: LocalBackend | ShardedBackend
+        if self.shard_policy.workers >= 1:
+            if self._worker_pool is None:
+                from repro.serve.workers import WorkerPool, WorkerSpec
+
+                self._worker_pool = WorkerPool(
+                    WorkerSpec(
+                        models=dict(self.models),
+                        substrates=tuple(self.substrates),
                         n_iterations=self.n_iterations,
-                        size=self.pool_size,
                         calibration_inputs=self.calibration_inputs,
                         session_seed=self.session_seed,
-                    )
-        for pool in self._pools.values():
-            pool.reset_idle()
-        self._executor = ThreadPoolExecutor(
-            max_workers=max(1, len(self._pools) * self.pool_size),
-            thread_name_prefix="repro-serve",
-        )
-        for key, pool in self._pools.items():
-            batcher = Batcher(
-                pool, self.batch_policy, self._executor, self.stats
+                    ),
+                    self.shard_policy,
+                )
+            await self._worker_pool.start()
+            backend = ShardedBackend(self._worker_pool)
+        else:
+            if not self._pools:
+                for substrate in self.substrates:
+                    for model_name, model in self.models.items():
+                        self._pools[(substrate, model_name)] = SessionPool(
+                            substrate,
+                            model,
+                            n_iterations=self.n_iterations,
+                            size=self.pool_size,
+                            calibration_inputs=self.calibration_inputs,
+                            session_seed=self.session_seed,
+                        )
+            for pool in self._pools.values():
+                pool.reset_idle()
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(1, len(self._pools) * self.pool_size),
+                thread_name_prefix="repro-serve",
             )
+            backend = LocalBackend(self._pools, self._executor)
+        for key in sorted(self._keys):
+            batcher = Batcher(key, self.batch_policy, backend, self.stats)
             batcher.start()
             self._batchers[key] = batcher
         self._started = True
         self._started_at = time.time()
 
     async def stop(self) -> None:
-        """Drain the batchers and release the worker threads."""
+        """Drain the batchers, release threads, stop worker shards.
+
+        Worker shards are stopped with the shard policy's join deadline
+        (terminate -> kill escalation), so no child process can outlive
+        the service.
+        """
         if not self._started:
             return
+        # Refuse new submissions first: a submit racing this coroutine
+        # must see the flag and be rejected, not enqueue into a batcher
+        # whose drain has already run (its future would never resolve).
+        self._started = False
         for batcher in self._batchers.values():
             await batcher.close()
         self._batchers.clear()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
-        self._started = False
+        if self._worker_pool is not None:
+            # stop() joins processes; keep the event loop responsive.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._worker_pool.stop
+            )
 
     async def __aenter__(self) -> "InferenceService":
         await self.start()
@@ -413,16 +455,16 @@ class InferenceService:
 
     # -- request path ------------------------------------------------------
 
-    def _resolve_key(self, request: InferenceRequest) -> tuple[str, str]:
+    def _resolve_key(self, request: InferenceRequest) -> PairKey:
         from repro.api.substrates import get_substrate
 
         substrate = get_substrate(request.substrate).name
         key = (substrate, request.model)
-        if key not in self._pools:
+        if key not in self._keys:
             raise KeyError(
                 f"no pool for substrate {substrate!r} / model "
                 f"{request.model!r}; serving "
-                f"{sorted(self._pools)}"
+                f"{sorted(self._keys)}"
             )
         return key
 
@@ -440,11 +482,11 @@ class InferenceService:
                 "await service.start())"
             )
         key = self._resolve_key(request)
-        pool = self._pools[key]
-        if request.inputs.shape[-1] != pool.in_features:
+        in_features = self._in_features[request.model]
+        if request.inputs.shape[-1] != in_features:
             raise ValueError(
                 f"request inputs have width {request.inputs.shape[-1]}, "
-                f"model {request.model!r} expects {pool.in_features}"
+                f"model {request.model!r} expects {in_features}"
             )
         if self._pending >= self.queue_policy.max_pending:
             self.stats.rejected += 1
@@ -540,6 +582,11 @@ class InferenceService:
                 "max_wait_ms": self.batch_policy.max_wait_ms,
             },
             "queue": {"max_pending": self.queue_policy.max_pending},
+            "shard": {
+                "workers": self.shard_policy.workers,
+                "affinity": self.shard_policy.affinity,
+                "respawn": self.shard_policy.respawn,
+            },
             "pool_size": self.pool_size,
             "session_seed": self.session_seed,
             "started": self._started,
@@ -562,6 +609,11 @@ class InferenceService:
                 f"{substrate}/{model}": pool.describe()
                 for (substrate, model), pool in self._pools.items()
             },
+            "shards": (
+                None
+                if self._worker_pool is None
+                else self._worker_pool.describe()
+            ),
             "uptime_s": (
                 None
                 if self._started_at is None
@@ -573,6 +625,8 @@ class InferenceService:
 __all__ = [
     "Batcher",
     "InferenceService",
+    "LocalBackend",
     "ServiceStats",
+    "ShardedBackend",
     "reference_run",
 ]

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any
 
 import numpy as np
 
@@ -67,6 +66,33 @@ class ServiceOverloaded(RuntimeError):
         )
         self.pending = pending
         self.max_pending = max_pending
+
+
+class WorkerCrashed(ServiceOverloaded):
+    """A worker shard died while (or before) serving a micro-batch.
+
+    Subclasses :class:`ServiceOverloaded` deliberately: shard death is a
+    transient capacity loss -- the pool respawns the shard -- so
+    transports answer it with the same retryable 503, never a hung
+    future.  ``shard`` is the dead shard's index (-1 when no shard was
+    available at all) and ``pending`` counts the requests that were in
+    flight on it.  ``max_pending`` is 0: shard death is not an admission
+    rejection, so there is no meaningful queue bound to report (HTTP
+    crash replies carry ``shard``/``pending`` instead).
+    """
+
+    def __init__(self, shard: int, pending: int, message: str | None = None):
+        RuntimeError.__init__(
+            self,
+            message
+            or (
+                f"worker shard {shard} died with {pending} in-flight "
+                "request(s); the shard is respawning -- retry"
+            ),
+        )
+        self.shard = shard
+        self.pending = pending
+        self.max_pending = 0
 
 
 @dataclass(frozen=True)
@@ -203,4 +229,5 @@ __all__ = [
     "InferenceResponse",
     "RequestExecutionError",
     "ServiceOverloaded",
+    "WorkerCrashed",
 ]

@@ -1,0 +1,545 @@
+"""Sharded worker backend: micro-batches fanned out over processes.
+
+The single-process service executes every micro-batch on one CPU core
+inside the event-loop process, so throughput is capped by the GIL and
+one engine's arithmetic.  This module scales the same deterministic
+contract horizontally:
+
+- :class:`WorkerPool` spawns ``ShardPolicy.workers`` shard processes
+  (``multiprocessing`` *spawn* start method, daemonic so they can never
+  outlive the parent).  Each shard warms its **own** calibrated
+  :class:`~repro.serve.pool.SessionPool` per (substrate, model) pair
+  from the :class:`WorkerSpec` -- sessions are rebuilt from the same
+  ``session_seed``, so every shard is bit-for-bit interchangeable with
+  the in-process pool and with :func:`~repro.serve.execution.
+  reference_run`.
+- Assembled micro-batches are routed to the **least-loaded live shard**,
+  tie-broken toward a shard that has already served the batch's
+  substrate (``ShardPolicy.affinity``) so calibration state stays warm;
+  request items and responses cross stdlib pipes as plain picklable
+  payloads.
+- **Worker death is detected** (pipe EOF from a dedicated reader thread
+  per shard): every in-flight request on the dead shard fails with
+  :class:`~repro.serve.types.WorkerCrashed` -- a retryable 503, never a
+  hung future -- the shard is respawned, and subsequent requests keep
+  matching the reference bit-for-bit.
+- Shutdown sends every shard a stop message, then joins with the
+  ``ShardPolicy.join_timeout_s`` deadline, escalating terminate -> kill;
+  an ``atexit`` guard runs the same teardown if the owner never calls
+  :meth:`WorkerPool.stop`, so Ctrl-C cannot leak orphaned children.
+  A shard that loses its parent pipe exits on its own (EOF), covering
+  even hard parent kills.
+
+Metering stays exact because the scoped ledgers live in the worker that
+executed the batch; the responses carry per-request energy/ops back over
+the pipe like any other result field.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.nn.sequential import Sequential
+from repro.runtime.policy import ShardPolicy
+from repro.serve.execution import Outcome, RequestItem, run_grouped
+from repro.serve.pool import SessionPool
+from repro.serve.types import (
+    InferenceResponse,
+    RequestExecutionError,
+    WorkerCrashed,
+)
+
+PairKey = tuple[str, str]
+
+_STARTUP_FAILURE_MESSAGE = (
+    "worker shards keep dying during warm-up; giving up on respawns. "
+    "Common cause: the parent process's __main__ is not importable "
+    "(interactive/stdin scripts cannot use the multiprocessing 'spawn' "
+    "start method) -- run from a file, `python -m repro serve`, or use "
+    "workers=0 for in-process serving."
+)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a spawned shard needs to rebuild the served sessions.
+
+    The spec crosses the process boundary once, at spawn; the shard then
+    owns private session pools built exactly like the in-process ones
+    (same calibration, same ``session_seed``), which is what makes every
+    shard bit-for-bit interchangeable.
+    """
+
+    models: dict[str, Sequential]
+    substrates: tuple[str, ...]
+    n_iterations: int = 30
+    calibration_inputs: np.ndarray | None = None
+    session_seed: int = 0
+
+    def keys(self) -> list[PairKey]:
+        return [
+            (substrate, model)
+            for substrate in self.substrates
+            for model in self.models
+        ]
+
+
+def _worker_main(spec: WorkerSpec, conn: Any) -> None:
+    """Shard process entry point: warm the pools, serve batches forever.
+
+    Protocol (parent -> shard): ``("batch", job_id, key, items)``,
+    ``("stop",)``, ``("exit", code)`` (chaos/test hook: die instantly).
+    Shard -> parent: ``("ready", pid)`` once warmed, then one
+    ``("result", job_id, encoded_outcomes)`` per batch.  Outcomes are
+    encoded as ``("ok", InferenceResponse)`` / ``("error", message)``
+    pairs so nothing unpicklable ever crosses the pipe.
+    """
+    # The shard's message loop is strictly serial (one batch at a time),
+    # so a pool width above 1 would only warm clones that can never run;
+    # shard-level concurrency comes from the number of shards instead.
+    pools = {
+        key: SessionPool(
+            key[0],
+            spec.models[key[1]],
+            n_iterations=spec.n_iterations,
+            size=1,
+            calibration_inputs=spec.calibration_inputs,
+            session_seed=spec.session_seed,
+        )
+        for key in spec.keys()
+    }
+    conn.send(("ready", os.getpid()))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent died: exit rather than linger as an orphan
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "exit":  # chaos/test hook: die without cleanup
+            conn.close()
+            os._exit(int(message[1]))
+        if kind != "batch":
+            continue
+        _, job_id, key, items = message
+        try:
+            pool = pools[tuple(key)]
+            session = pool.acquire_nowait()
+            try:
+                outcomes = run_grouped(session, key[0], key[1], items)
+            finally:
+                pool.release(session)
+            encoded: list[tuple[str, Any]] = [
+                ("ok", outcome)
+                if isinstance(outcome, InferenceResponse)
+                else ("error", str(outcome))
+                for outcome in outcomes
+            ]
+        except Exception as error:  # pool-level failure: fail every item
+            encoded = [
+                ("error", f"{type(error).__name__}: {error}")
+            ] * len(items)
+        try:
+            conn.send(("result", job_id, encoded))
+        except (OSError, ValueError, BrokenPipeError):
+            break
+    conn.close()
+
+
+@dataclass
+class _Inflight:
+    """One dispatched micro-batch awaiting its shard's result."""
+
+    loop: asyncio.AbstractEventLoop
+    future: asyncio.Future
+    n_requests: int
+    sent_at: float
+
+
+class WorkerHandle:
+    """Parent-side view of one shard: process, pipe, live counters."""
+
+    def __init__(self, index: int, process: Any, conn: Any):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        self.alive = True
+        self.inflight: dict[int, _Inflight] = {}
+        self.dispatched_batches = 0
+        self.completed_batches = 0
+        self.failed_batches = 0
+        self.substrates: set[str] = set()
+        self.started_at = time.monotonic()
+        self.last_dispatch_at: float | None = None
+
+    @property
+    def inflight_batches(self) -> int:
+        return len(self.inflight)
+
+    @property
+    def inflight_requests(self) -> int:
+        return sum(entry.n_requests for entry in self.inflight.values())
+
+    def describe(self, now: float | None = None) -> dict[str, Any]:
+        """Per-shard stats row for ``/stats``: queue depth and ages."""
+        now = time.monotonic() if now is None else now
+        oldest = min(
+            (entry.sent_at for entry in self.inflight.values()), default=None
+        )
+        return {
+            "index": self.index,
+            "pid": self.process.pid,
+            "alive": bool(self.process.is_alive()),
+            "ready": self.ready,
+            "queue_depth": self.inflight_batches,
+            "inflight_requests": self.inflight_requests,
+            "dispatched_batches": self.dispatched_batches,
+            "completed_batches": self.completed_batches,
+            "failed_batches": self.failed_batches,
+            "oldest_inflight_age_s": (
+                None if oldest is None else now - oldest
+            ),
+            "last_dispatch_age_s": (
+                None
+                if self.last_dispatch_at is None
+                else now - self.last_dispatch_at
+            ),
+            "uptime_s": now - self.started_at,
+            "substrates": sorted(self.substrates),
+        }
+
+
+class WorkerPool:
+    """N spawned shard processes behind an asyncio ``execute`` call.
+
+    One pipe and one reader thread per shard; futures are created on the
+    dispatching event loop and resolved with ``call_soon_threadsafe``,
+    so the pool survives the service being driven from different event
+    loops over its lifetime (each ``infer_many`` call runs its own).
+    """
+
+    def __init__(self, spec: WorkerSpec, policy: ShardPolicy):
+        if policy.workers < 1:
+            raise ValueError(
+                f"WorkerPool needs workers >= 1, got {policy.workers} "
+                "(workers=0 means in-process serving; don't build a pool)"
+            )
+        self.spec = spec
+        self.policy = policy
+        import multiprocessing
+
+        self._context = multiprocessing.get_context("spawn")
+        self._handles: list[WorkerHandle] = []
+        self._lock = threading.Lock()
+        self._job_ids = itertools.count()
+        self._stopping = False
+        self._started = False
+        self._startup_failures = 0  # consecutive never-ready shard deaths
+        self._failed_permanently = False
+        self.respawns = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every shard and wait until each reports warmed-up."""
+        if self._started:
+            return
+        self._stopping = False
+        self._handles = [
+            self._spawn(index) for index in range(self.policy.workers)
+        ]
+        self._started = True
+        # Guard against owners that exit without stop(): never leak
+        # orphaned children.  (Shards also self-exit on parent-pipe EOF.)
+        atexit.register(self.stop)
+        await self._wait_ready()
+
+    def _spawn(self, index: int) -> WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self.spec, child_conn),
+            name=f"repro-serve-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps one end; EOF now propagates
+        handle = WorkerHandle(index, process, parent_conn)
+        threading.Thread(
+            target=self._reader,
+            args=(handle,),
+            name=f"repro-serve-reader-{index}",
+            daemon=True,
+        ).start()
+        return handle
+
+    async def _wait_ready(self) -> None:
+        deadline = time.monotonic() + self.policy.spawn_timeout_s
+        while True:
+            with self._lock:
+                if self._failed_permanently:
+                    raise WorkerCrashed(
+                        -1,
+                        0,
+                        message=_STARTUP_FAILURE_MESSAGE,
+                    )
+                if all(h.ready for h in self._handles if h.alive) and any(
+                    h.alive for h in self._handles
+                ):
+                    return
+            if time.monotonic() >= deadline:
+                raise WorkerCrashed(
+                    -1,
+                    0,
+                    message=(
+                        "no worker shard became ready within "
+                        f"{self.policy.spawn_timeout_s:.0f}s"
+                    ),
+                )
+            await asyncio.sleep(0.05)
+
+    def stop(self) -> None:
+        """Stop every shard within ``join_timeout_s``; escalate if needed.
+
+        Idempotent and atexit-safe: stop -> deadline join -> terminate ->
+        kill, then fail anything still in flight so no awaiter hangs.
+        """
+        if not self._started:
+            return
+        self._stopping = True
+        self._started = False
+        handles, self._handles = self._handles, []
+        deadline = time.monotonic() + self.policy.join_timeout_s
+        for handle in handles:
+            try:
+                handle.conn.send(("stop",))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        for handle in handles:
+            handle.process.join(
+                timeout=max(0.0, deadline - time.monotonic())
+            )
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        for handle in handles:
+            with self._lock:
+                inflight = dict(handle.inflight)
+                handle.inflight.clear()
+            for entry in inflight.values():
+                self._fail(
+                    entry,
+                    RequestExecutionError(
+                        "service stopped before execution"
+                    ),
+                )
+        atexit.unregister(self.stop)
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def execute(
+        self, key: PairKey, items: Sequence[RequestItem]
+    ) -> list[Outcome]:
+        """Route one assembled micro-batch to a shard; await its result.
+
+        Raises:
+            WorkerCrashed: the chosen shard died before answering (its
+                replacement is already spawning), or no shard became
+                ready within ``spawn_timeout_s``.
+        """
+        if not self._started:
+            raise RuntimeError("worker pool is not started")
+        handle = await self._pick(key[0])
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        job_id = next(self._job_ids)
+        with self._lock:
+            handle.inflight[job_id] = _Inflight(
+                loop=loop,
+                future=future,
+                n_requests=len(items),
+                sent_at=time.monotonic(),
+            )
+            handle.dispatched_batches += 1
+            handle.last_dispatch_at = time.monotonic()
+            handle.substrates.add(key[0])
+        try:
+            handle.conn.send(("batch", job_id, tuple(key), list(items)))
+        except (OSError, ValueError, BrokenPipeError) as error:
+            with self._lock:
+                handle.inflight.pop(job_id, None)
+            raise WorkerCrashed(handle.index, len(items)) from error
+        return await future
+
+    async def _pick(self, substrate: str) -> WorkerHandle:
+        """Least-loaded live shard, affinity-tie-broken; waits for warm-up."""
+        deadline = time.monotonic() + self.policy.spawn_timeout_s
+        while True:
+            with self._lock:
+                ready = [
+                    handle
+                    for handle in self._handles
+                    if handle.alive and handle.ready
+                ]
+                if ready:
+                    if self.policy.affinity:
+                        return min(
+                            ready,
+                            key=lambda h: (
+                                h.inflight_requests,
+                                substrate not in h.substrates,
+                                h.index,
+                            ),
+                        )
+                    return min(
+                        ready,
+                        key=lambda h: (h.inflight_requests, h.index),
+                    )
+            with self._lock:
+                if self._failed_permanently:
+                    raise WorkerCrashed(
+                        -1, 0, message=_STARTUP_FAILURE_MESSAGE
+                    )
+            if time.monotonic() >= deadline:
+                raise WorkerCrashed(
+                    -1,
+                    0,
+                    message=(
+                        "no live worker shard became ready within "
+                        f"{self.policy.spawn_timeout_s:.0f}s; retry"
+                    ),
+                )
+            await asyncio.sleep(0.05)
+
+    # -- reader thread -----------------------------------------------------
+
+    def _reader(self, handle: WorkerHandle) -> None:
+        while True:
+            try:
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "ready":
+                handle.ready = True
+            elif kind == "result":
+                self._resolve(handle, message[1], message[2])
+        self._on_worker_death(handle)
+
+    def _resolve(
+        self, handle: WorkerHandle, job_id: int, encoded: list
+    ) -> None:
+        with self._lock:
+            entry = handle.inflight.pop(job_id, None)
+            handle.completed_batches += 1
+        if entry is None:
+            return
+        outcomes: list[Outcome] = [
+            payload
+            if tag == "ok"
+            else RequestExecutionError(str(payload))
+            for tag, payload in encoded
+        ]
+
+        def apply() -> None:
+            if not entry.future.done():
+                entry.future.set_result(outcomes)
+
+        self._call_threadsafe(entry.loop, apply)
+
+    def _on_worker_death(self, handle: WorkerHandle) -> None:
+        """Pipe EOF: fail in-flight work with a 503 and respawn the shard."""
+        was_ready = handle.ready
+        handle.alive = False
+        handle.ready = False
+        with self._lock:
+            inflight = dict(handle.inflight)
+            handle.inflight.clear()
+            handle.failed_batches += len(inflight)
+            if was_ready:
+                self._startup_failures = 0
+            else:
+                # A shard that died before finishing warm-up will very
+                # likely die again (bad spec, spawn-incompatible
+                # __main__): cap the respawn loop instead of thrashing.
+                self._startup_failures += 1
+                if self._startup_failures > 3 * self.policy.workers:
+                    self._failed_permanently = True
+        for entry in inflight.values():
+            self._fail(
+                entry, WorkerCrashed(handle.index, entry.n_requests)
+            )
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        handle.process.join(timeout=1.0)  # reap; the process is gone
+        if (
+            self._stopping
+            or not self.policy.respawn
+            or self._failed_permanently
+        ):
+            return
+        replacement: WorkerHandle | None = self._spawn(handle.index)
+        with self._lock:
+            self.respawns += 1
+            if (
+                replacement is not None
+                and self._started
+                and handle.index < len(self._handles)
+                and self._handles[handle.index] is handle
+            ):
+                self._handles[handle.index] = replacement
+                replacement = None  # installed
+        if replacement is not None:
+            # The pool stopped while we were respawning: don't leak it.
+            replacement.process.terminate()
+            replacement.process.join(timeout=1.0)
+
+    def _fail(self, entry: _Inflight, error: Exception) -> None:
+        def apply() -> None:
+            if not entry.future.done():
+                entry.future.set_exception(error)
+
+        self._call_threadsafe(entry.loop, apply)
+
+    @staticmethod
+    def _call_threadsafe(loop: asyncio.AbstractEventLoop, fn: Any) -> None:
+        try:
+            loop.call_soon_threadsafe(fn)
+        except RuntimeError:
+            pass  # the dispatching loop is gone; nothing left to notify
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        """Pool-level stats: one row per shard (queue depth, ages, pids)."""
+        now = time.monotonic()
+        with self._lock:
+            shards = [handle.describe(now) for handle in self._handles]
+        return {
+            "workers": self.policy.workers,
+            "respawns": self.respawns,
+            "shards": shards,
+        }
+
+
+__all__ = ["WorkerHandle", "WorkerPool", "WorkerSpec", "_worker_main"]

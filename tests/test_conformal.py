@@ -16,7 +16,8 @@ def _linear_world(rng, n=400, noise=0.2):
     x = rng.uniform(-2, 2, size=(n, 3))
     w = np.array([[1.0, -0.5], [0.3, 1.2], [-0.7, 0.4]])
     y = x @ w + rng.normal(scale=noise, size=(n, 2))
-    predict = lambda q: np.atleast_2d(q) @ w
+    def predict(q):
+        return np.atleast_2d(q) @ w
     return x, y, predict
 
 
@@ -64,7 +65,8 @@ class TestSplitConformal:
 
     def test_difficulty_scaling_adapts_width(self, rng):
         x, y, predict = _linear_world(rng)
-        difficulty = lambda q: 1.0 + np.abs(np.atleast_2d(q)[:, :1]) @ np.ones((1, 2))
+        def difficulty(q):
+            return 1.0 + np.abs(np.atleast_2d(q)[:, :1]) @ np.ones((1, 2))
         regressor = SplitConformalRegressor(predict, alpha=0.1, difficulty=difficulty)
         regressor.calibrate(x[:200], y[:200])
         easy = np.zeros((1, 3))

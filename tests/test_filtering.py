@@ -285,10 +285,18 @@ class TestParticleFilter:
 class TestEKF:
     def test_converges_on_linear_system(self, rng):
         # 1D constant position observed with noise.
-        f = lambda x, u: x
-        f_jac = lambda x, u: np.eye(1)
-        h = lambda x: x
-        h_jac = lambda x: np.eye(1)
+        def f(x, u):
+            return x
+
+        def f_jac(x, u):
+            return np.eye(1)
+
+        def h(x):
+            return x
+
+        def h_jac(x):
+            return np.eye(1)
+
         ekf = ExtendedKalmanFilter(
             f, f_jac, h, h_jac, process_noise=np.eye(1) * 1e-6, measurement_noise=np.eye(1) * 0.1
         )
@@ -300,10 +308,18 @@ class TestEKF:
         assert ekf.covariance[0, 0] < 0.1
 
     def test_covariance_stays_symmetric(self, rng):
-        f = lambda x, u: x + u
-        f_jac = lambda x, u: np.eye(2)
-        h = lambda x: x[:1]
-        h_jac = lambda x: np.array([[1.0, 0.0]])
+        def f(x, u):
+            return x + u
+
+        def f_jac(x, u):
+            return np.eye(2)
+
+        def h(x):
+            return x[:1]
+
+        def h_jac(x):
+            return np.array([[1.0, 0.0]])
+
         ekf = ExtendedKalmanFilter(
             f, f_jac, h, h_jac, np.eye(2) * 0.01, np.eye(1) * 0.1
         )

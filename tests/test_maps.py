@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.maps import (
     GaussianMixture,
-    HMG_UNIT_INTEGRAL_3D,
     HMGMixture,
     PointCloud,
     diag_gaussian_logpdf,

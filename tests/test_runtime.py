@@ -14,7 +14,7 @@ from repro.api import (
     sweep_experiment,
 )
 from repro.nn import Dense, Dropout, ReLU, Sequential
-from repro.runtime import ExecutionReport, JobSpec, ParallelExecutor, Plan, RunStore
+from repro.runtime import JobSpec, ParallelExecutor, Plan, RunStore
 
 FAST_E9 = {"n_inputs": 32, "n_outputs": 16, "n_iterations": 8, "n_trials": 1}
 # keep_probability=1.5 type-checks (float) but fails inside the job, so it

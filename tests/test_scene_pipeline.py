@@ -8,9 +8,7 @@ from repro.scene.dataset import SyntheticRGBDScenes
 from repro.scene.render import DepthRenderer
 from repro.scene.scene import Scene, make_room_scene
 from repro.scene.primitives import Plane, Sphere
-from repro.scene.se3 import Pose
 from repro.scene.trajectory import (
-    Trajectory,
     drone_orbit_states,
     lissajous_trajectory,
     look_at,

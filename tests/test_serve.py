@@ -397,12 +397,11 @@ class TestBackpressure:
         self, model, inputs, monkeypatch
     ):
         from repro.serve import RequestExecutionError
-        from repro.serve.service import Batcher
 
-        def boom(self, session, batch):
+        def boom(session, substrate, model_name, items):
             raise RuntimeError("engine exploded")
 
-        monkeypatch.setattr(Batcher, "_execute", boom)
+        monkeypatch.setattr("repro.serve.service.run_grouped", boom)
         service = make_service(model, ["cim"])
 
         async def drive():
@@ -521,12 +520,10 @@ class TestHTTP:
 
     def test_execution_failure_is_500_not_400(self, model, inputs, monkeypatch):
         # Server-side faults must not masquerade as client errors.
-        from repro.serve.service import Batcher
-
-        def boom(self, session, batch):
+        def boom(session, substrate, model_name, items):
             raise RuntimeError("engine exploded")
 
-        monkeypatch.setattr(Batcher, "_execute", boom)
+        monkeypatch.setattr("repro.serve.service.run_grouped", boom)
         service = make_service(model, ["cim"])
         with serve_http(service, port=0) as context:
             body = InferenceRequest(inputs, substrate="cim").to_json().encode()

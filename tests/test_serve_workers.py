@@ -1,0 +1,350 @@
+"""repro.serve.workers: sharded serving, crash recovery, shutdown."""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.runtime import BatchPolicy, ShardPolicy
+from repro.serve import (
+    InferenceRequest,
+    InferenceService,
+    ServiceOverloaded,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerSpec,
+    build_reference_session,
+    reference_run,
+)
+from repro.serve.demo import demo_inputs, demo_model
+from repro.serve.http import serve_http
+
+N_ITER = 6
+
+
+@pytest.fixture(scope="module")
+def model():
+    return demo_model()
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return demo_inputs()
+
+
+def make_sharded(model, substrates, workers=2, **kwargs):
+    kwargs.setdefault("n_iterations", N_ITER)
+    kwargs.setdefault("batch", BatchPolicy(max_batch=4, max_wait_ms=20.0))
+    return InferenceService(
+        model,
+        substrates=substrates,
+        shard=ShardPolicy(workers=workers),
+        **kwargs,
+    )
+
+
+def assert_result_equal(actual, expected):
+    """Bit-for-bit equality of two InferenceResults (values + metering)."""
+    assert np.array_equal(actual.mean, expected.mean)
+    if expected.variance is None:
+        assert actual.variance is None
+    else:
+        assert np.array_equal(actual.variance, expected.variance)
+    if expected.samples is not None:
+        assert np.array_equal(actual.samples, expected.samples)
+    assert actual.ops_executed == expected.ops_executed
+    assert actual.ops_naive == expected.ops_naive
+    assert actual.energy_j == expected.energy_j
+    assert actual.energy_breakdown_j == expected.energy_breakdown_j
+
+
+def wait_dead(pids, timeout_s=10.0):
+    """Wait until every pid is gone (reaped or reparented-and-exited)."""
+    deadline = time.monotonic() + timeout_s
+    pending = list(pids)
+    while pending and time.monotonic() < deadline:
+        still = []
+        for pid in pending:
+            try:
+                os.kill(pid, 0)
+                still.append(pid)
+            except (ProcessLookupError, PermissionError):
+                pass
+        pending = still
+        if pending:
+            time.sleep(0.05)
+    return pending
+
+
+class TestShardPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            ShardPolicy(workers=-1)
+        with pytest.raises(ValueError, match="join_timeout_s"):
+            ShardPolicy(join_timeout_s=0)
+        with pytest.raises(ValueError, match="spawn_timeout_s"):
+            ShardPolicy(spawn_timeout_s=-1)
+        assert ShardPolicy().workers == 0  # default stays in-process
+
+    def test_worker_pool_rejects_in_process_policy(self, model):
+        spec = WorkerSpec(models={"default": model}, substrates=("cim",))
+        with pytest.raises(ValueError, match="workers >= 1"):
+            WorkerPool(spec, ShardPolicy(workers=0))
+
+
+class TestRouting:
+    """_pick is pure over handle attributes: unit-test it with fakes."""
+
+    def make_pool(self, model, affinity=True):
+        spec = WorkerSpec(models={"default": model}, substrates=("cim",))
+        return WorkerPool(spec, ShardPolicy(workers=2, affinity=affinity))
+
+    def fake(self, index, inflight_requests=0, substrates=()):
+        return SimpleNamespace(
+            index=index,
+            alive=True,
+            ready=True,
+            inflight_requests=inflight_requests,
+            substrates=set(substrates),
+        )
+
+    def test_least_loaded_wins(self, model):
+        pool = self.make_pool(model)
+        pool._handles = [
+            self.fake(0, inflight_requests=3, substrates=("cim",)),
+            self.fake(1, inflight_requests=0),
+        ]
+        assert asyncio.run(pool._pick("cim")).index == 1
+
+    def test_affinity_breaks_ties(self, model):
+        pool = self.make_pool(model)
+        pool._handles = [
+            self.fake(0),
+            self.fake(1, substrates=("cim",)),
+        ]
+        assert asyncio.run(pool._pick("cim")).index == 1
+        assert asyncio.run(pool._pick("digital")).index == 0
+
+    def test_affinity_off_falls_back_to_index(self, model):
+        pool = self.make_pool(model, affinity=False)
+        pool._handles = [
+            self.fake(0),
+            self.fake(1, substrates=("cim",)),
+        ]
+        assert asyncio.run(pool._pick("cim")).index == 0
+
+    def test_execute_requires_start(self, model):
+        pool = self.make_pool(model)
+        with pytest.raises(RuntimeError, match="not started"):
+            asyncio.run(pool.execute(("cim", "default"), []))
+
+
+class TestShardedParity:
+    """Acceptance: responses bit-for-bit regardless of shard or batching."""
+
+    @pytest.fixture(scope="class")
+    def sharded_run(self, model, inputs):
+        service = make_sharded(model, ["cim", "digital"], workers=2)
+        requests = [
+            InferenceRequest(inputs, substrate=name, seed=seed)
+            for name in ("cim", "digital")
+            for seed in (0, 11)
+        ] * 2
+
+        async def drive():
+            async with service:
+                responses = await asyncio.gather(
+                    *(service.submit(r) for r in requests)
+                )
+                return responses, service.stats_snapshot()
+
+        responses, snapshot = asyncio.run(drive())
+        return service, requests, responses, snapshot
+
+    def test_every_response_matches_reference(self, sharded_run):
+        service, requests, responses, _ = sharded_run
+        sessions = {}
+        for request, response in zip(requests, responses):
+            if request.substrate not in sessions:
+                sessions[request.substrate] = service.reference_session(
+                    request.substrate
+                )
+            expected = reference_run(
+                sessions[request.substrate], request.inputs, request.seed
+            )
+            assert response.substrate == request.substrate
+            assert response.seed == request.seed
+            assert_result_equal(response.result, expected)
+
+    def test_stats_expose_per_shard_rows(self, sharded_run):
+        _, _, _, snapshot = sharded_run
+        shards = snapshot["shards"]
+        assert shards["workers"] == 2
+        rows = shards["shards"]
+        assert [row["index"] for row in rows] == [0, 1]
+        for row in rows:
+            assert row["ready"] is True
+            assert row["queue_depth"] == 0  # all drained
+            assert "oldest_inflight_age_s" in row
+            assert "last_dispatch_age_s" in row
+        assert sum(row["dispatched_batches"] for row in rows) >= 2
+        assert snapshot["completed"] == 8
+
+    def test_describe_reports_shard_policy(self, sharded_run):
+        service, _, _, _ = sharded_run
+        described = service.describe()
+        assert described["shard"]["workers"] == 2
+        assert described["shard"]["respawn"] is True
+
+    def test_workers_terminated_after_stop(self, sharded_run):
+        _, _, _, snapshot = sharded_run
+        pids = [row["pid"] for row in snapshot["shards"]["shards"]]
+        assert wait_dead(pids) == []
+
+
+class TestCrashRecovery:
+    """Kill a shard mid-flight: 503, respawn, then bit-parity again."""
+
+    def test_midflight_kill_503_respawn_parity(self, model, inputs):
+        service = make_sharded(model, ["cim"], workers=1)
+
+        async def drive():
+            async with service:
+                victim = service._worker_pool._handles[0]
+                victim_pid = victim.process.pid
+                # Freeze the shard first so it provably cannot answer
+                # before the kill: the batch stays in flight until
+                # SIGKILL closes the pipe (deterministic, no race).
+                os.kill(victim_pid, signal.SIGSTOP)
+                task = asyncio.ensure_future(
+                    service.submit(
+                        InferenceRequest(inputs, substrate="cim", seed=5)
+                    )
+                )
+                for _ in range(5000):
+                    if victim.inflight:
+                        break
+                    await asyncio.sleep(0.001)
+                assert victim.inflight, "request never reached the shard"
+                victim.process.kill()
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    await task
+                assert isinstance(excinfo.value, WorkerCrashed)
+                assert excinfo.value.shard == 0
+                # The replacement shard serves the same request with the
+                # same bits -- sessions are rebuilt from session_seed.
+                response = await service.submit(
+                    InferenceRequest(inputs, substrate="cim", seed=5)
+                )
+                respawned = service._worker_pool._handles[0]
+                return victim_pid, respawned.process.pid, response
+
+        victim_pid, respawned_pid, response = asyncio.run(drive())
+        assert respawned_pid != victim_pid
+        assert service._worker_pool.respawns == 1
+        assert service.stats.failed == 1
+        session = build_reference_session("cim", model, n_iterations=N_ITER)
+        assert_result_equal(response.result, reference_run(session, inputs, 5))
+
+    def test_idle_crash_respawns_cleanly(self, model, inputs):
+        service = make_sharded(model, ["digital"], workers=1)
+
+        async def drive():
+            async with service:
+                victim = service._worker_pool._handles[0]
+                victim.process.kill()
+                for _ in range(200):
+                    replacement = service._worker_pool._handles[0]
+                    if replacement is not victim and replacement.ready:
+                        break
+                    await asyncio.sleep(0.05)
+                return await service.submit(
+                    InferenceRequest(inputs, substrate="digital", seed=2)
+                )
+
+        response = asyncio.run(drive())
+        assert service.stats.failed == 0  # nothing was in flight
+        session = build_reference_session(
+            "digital", model, n_iterations=N_ITER
+        )
+        assert_result_equal(response.result, reference_run(session, inputs, 2))
+
+
+class TestShardedHTTP:
+    def test_http_parity_and_shard_stats(self, model, inputs):
+        service = make_sharded(model, ["cim"], workers=1)
+        with serve_http(service, port=0) as context:
+            request = InferenceRequest(inputs, substrate="cim", seed=8)
+            raw = urllib.request.urlopen(
+                urllib.request.Request(
+                    f"http://127.0.0.1:{context.port}/infer",
+                    data=request.to_json().encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+            ).read()
+            from repro.serve import InferenceResponse
+
+            response = InferenceResponse.from_json(raw.decode())
+            session = service.reference_session("cim")
+            assert_result_equal(
+                response.result, reference_run(session, inputs, 8)
+            )
+            stats = json.loads(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{context.port}/stats"
+                ).read()
+            )
+            assert stats["shards"]["workers"] == 1
+            assert len(stats["shards"]["shards"]) == 1
+
+
+class TestCLIShutdown:
+    """`repro serve --workers N` must never leak orphaned children."""
+
+    def test_sigterm_stops_workers(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.getcwd(), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--workers", "1",
+                "--n-iterations", "4", "--substrates", "digital",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            port = None
+            deadline = time.monotonic() + 60
+            assert process.stdout is not None
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if "http://" in line:
+                    port = int(line.split("http://")[1].split()[0].split(":")[1])
+                    break
+            assert port, "server never printed its address"
+            stats = json.loads(
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/stats", timeout=30
+                ).read()
+            )
+            worker_pids = [row["pid"] for row in stats["shards"]["shards"]]
+            assert worker_pids
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)
+            assert wait_dead(worker_pids) == []
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

@@ -43,7 +43,6 @@ class TestCell:
 
 class TestBitLine:
     def test_mismatch_filtering_with_ports(self):
-        rng_seed = 0
         few_list, many_list = [], []
         for inst in range(30):
             few = BitLineModel.sample(NODE_16NM, 16, np.random.default_rng(inst))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import Dropout, Sequential
+from repro.nn import Sequential
 from repro.scene.dataset import SyntheticRGBDScenes
 from repro.scene.se3 import Pose
 from repro.vo import (
