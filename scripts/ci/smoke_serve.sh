@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Serving smoke: start the HTTP service on the demo model, assert
-# per-substrate HTTP bit-parity (scripts/ci/serve_parity_check.py), then
-# shut down and verify the server exits cleanly (SIGTERM path must also
-# stop any worker shards -- no orphaned children).
+# Serving smoke: start the HTTP service on the demo model with streaming
+# tracks enabled, assert per-substrate HTTP bit-parity
+# (scripts/ci/serve_parity_check.py) and live-HTTP streaming-track
+# bit-parity vs a one-shot run (scripts/ci/track_stream_check.py), then
+# shut down with live tracks open and verify the server exits cleanly
+# (SIGTERM path must also stop any worker shards -- no orphaned
+# children, even mid-stream).
 #
 # Environment:
 #   WORKERS=N      shard count (default 0 = single-process)
@@ -15,7 +18,8 @@ WORKERS="${WORKERS:-0}"
 SERVE_PORT="${SERVE_PORT:-8731}"
 
 python -m repro serve --port "$SERVE_PORT" --n-iterations 8 \
-  --workers "$WORKERS" > /tmp/serve.log 2>&1 &
+  --workers "$WORKERS" --tracks --track-substrates cim \
+  > /tmp/serve.log 2>&1 &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
@@ -28,6 +32,33 @@ curl -sf "http://127.0.0.1:${SERVE_PORT}/healthz" > /dev/null
 SERVE_URL="http://127.0.0.1:${SERVE_PORT}" N_ITERATIONS=8 WORKERS="$WORKERS" \
   python scripts/ci/serve_parity_check.py
 
+SERVE_URL="http://127.0.0.1:${SERVE_PORT}" \
+  python scripts/ci/track_stream_check.py
+
+# Leave a live (un-closed) track behind, then SIGTERM: shutdown must not
+# hang on open streams or orphan worker shards.
+python - <<PY
+import json, urllib.request
+import numpy as np
+import sys
+sys.path.insert(0, "src")
+from repro.api.results import strict_dumps
+from repro.serve import TrackInit
+from repro.serve.demo import demo_track_measurements
+
+controls, depths, truths = demo_track_measurements(n_steps=1)
+init = TrackInit(mode="tracking", state=truths[0],
+                 sigma=np.full(truths.shape[1], 0.05), z_range=None)
+req = urllib.request.Request(
+    "http://127.0.0.1:${SERVE_PORT}/track/open",
+    data=strict_dumps({"init": init.to_dict(), "substrate": "cim",
+                       "seed": 5}).encode(),
+    headers={"Content-Type": "application/json"})
+opened = json.loads(urllib.request.urlopen(req).read())
+assert opened["track_id"], opened
+print("left live track", opened["track_id"], "open for the SIGTERM path")
+PY
+
 kill "$SERVE_PID"
 for _ in $(seq 1 60); do
   kill -0 "$SERVE_PID" 2>/dev/null || break
@@ -39,4 +70,4 @@ if kill -0 "$SERVE_PID" 2>/dev/null; then
   exit 1
 fi
 trap - EXIT
-echo "serve smoke: ok (workers=$WORKERS)"
+echo "serve smoke: ok (workers=$WORKERS, streaming tracks)"

@@ -1,0 +1,97 @@
+"""Live-HTTP streaming-track check against a running `repro serve --tracks`.
+
+Opens a track, feeds it the demo measurement sequence one step at a
+time, closes it, and asserts the streamed responses are bit-for-bit
+equal to a one-shot ``LocalizationSession.run()`` over the same sequence
+(estimates AND cumulative energy/ops metering) -- the stream determinism
+contract.  Used by scripts/ci/smoke_serve.sh; works identically against
+single-process and sharded (--workers N) servers.
+
+Environment:
+    SERVE_URL   base URL (default http://127.0.0.1:8731)
+    N_STEPS     measurement steps to stream (default 3)
+"""
+
+import json
+import os
+import urllib.request
+
+import numpy as np
+
+from repro.api.results import strict_dumps, strict_loads
+from repro.serve import TrackInit, TrackStepResponse, reference_track_run
+from repro.serve.demo import demo_track_measurements, demo_track_world
+
+
+def post(base_url: str, path: str, payload: dict) -> dict:
+    raw = urllib.request.urlopen(
+        urllib.request.Request(
+            f"{base_url}{path}",
+            data=strict_dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+    ).read().decode()
+    return strict_loads(raw)
+
+
+def main() -> None:
+    base_url = os.environ.get("SERVE_URL", "http://127.0.0.1:8731")
+    n_steps = int(os.environ.get("N_STEPS", "3"))
+
+    world = demo_track_world()
+    controls, depths, truths = demo_track_measurements(n_steps=n_steps)
+    init = TrackInit(
+        mode="tracking",
+        state=truths[0],
+        sigma=np.full(truths.shape[1], 0.05),
+        z_range=None,
+    )
+
+    opened = post(
+        base_url,
+        "/track/open",
+        {"init": init.to_dict(), "substrate": "cim", "seed": 21},
+    )
+    track_id = opened["track_id"]
+    responses = []
+    for control, depth, truth in zip(controls, depths, truths):
+        payload = post(
+            base_url,
+            "/track/step",
+            {
+                "track_id": track_id,
+                "control": control.tolist(),
+                "depth": depth.tolist(),
+                "truth": truth.tolist(),
+            },
+        )
+        responses.append(TrackStepResponse.from_dict(payload))
+    closed = post(base_url, "/track/close", {"track_id": track_id})
+    assert closed["closed"] is True, closed
+    assert closed["steps"] == n_steps, closed
+
+    reference = reference_track_run(
+        world, "cim", init, 21, (controls, depths, truths)
+    )
+    streamed = np.array([r.estimate for r in responses])
+    assert np.array_equal(streamed, reference.mean), "estimate mismatch"
+    final = responses[-1]
+    assert final.energy_j == reference.energy_j, "energy mismatch"
+    assert final.ops_executed == reference.ops_executed, "ops mismatch"
+    assert final.energy_breakdown_j == reference.energy_breakdown_j, (
+        "energy breakdown mismatch"
+    )
+    assert [r.step_index for r in responses] == list(range(1, n_steps + 1))
+    assert not any(r.state_lost for r in responses)
+
+    stats = json.loads(urllib.request.urlopen(f"{base_url}/stats").read())
+    assert stats["tracks"]["opened"] >= 1, stats
+    assert stats["tracks"]["steps"] >= n_steps, stats
+    print(
+        f"track stream: bit-parity ok over {n_steps} live-HTTP steps "
+        f"(energy_j={final.energy_j:.3e}, ops={final.ops_executed})"
+    )
+
+
+if __name__ == "__main__":
+    main()

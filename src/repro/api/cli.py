@@ -575,6 +575,137 @@ def _bench_serve(repeats: int) -> dict:
     }
 
 
+# Reference config for the streaming-track benchmark (the "tracking"
+# case in BENCH_serve.json): thousands of concurrent live tracks over
+# the tiny demo world, each stepped measurement-by-measurement through
+# the service's track path (per-track state swap over one shared
+# prototype session, steps coalesced into micro-batches).  The baseline
+# is the same filter stepped by a one-shot session.run() -- the ratio is
+# machine-relative, so a committed baseline transfers across runners.
+_TRACKING_BENCH = {
+    "substrate": "cim",
+    "n_tracks": 2000,
+    "steps_per_track": 2,
+    "parity_tracks": 4,
+    "max_batch": 32,
+    "max_wait_ms": 2.0,
+}
+
+
+def _bench_tracking() -> dict:
+    """Steps/sec across thousands of live tracks vs one-shot stepping."""
+    import asyncio
+
+    import numpy as np
+
+    from repro.runtime import BatchPolicy, TrackPolicy
+    from repro.serve import InferenceService, TrackInit, reference_track_run
+    from repro.serve.demo import (
+        demo_model,
+        demo_track_measurements,
+        demo_track_world,
+    )
+
+    cfg = _TRACKING_BENCH
+    world = demo_track_world()
+    controls, depths, truths = demo_track_measurements(
+        n_steps=cfg["steps_per_track"]
+    )
+    init = TrackInit(
+        mode="tracking",
+        state=truths[0],
+        sigma=np.full(truths.shape[1], 0.05),
+        z_range=None,
+    )
+
+    # Direct baseline: the same filter advanced by one-shot session.run()
+    # (session build and initialization outside the timer -- steady-state
+    # per-step cost, same as the service's timed region).
+    session = world.build_session(cfg["substrate"])
+    direct_laps = []
+    for _ in range(3):
+        rng = np.random.default_rng(0)
+        init.apply(session, rng)
+        start = time.perf_counter()
+        session.run((controls, depths, truths), rng=rng)
+        direct_laps.append(time.perf_counter() - start)
+    direct_steps_per_s = cfg["steps_per_track"] / min(direct_laps)
+
+    service = InferenceService(
+        demo_model(),
+        substrates=[cfg["substrate"]],
+        batch=BatchPolicy(
+            max_batch=cfg["max_batch"], max_wait_ms=cfg["max_wait_ms"]
+        ),
+        track_world=world,
+        tracks=TrackPolicy(max_tracks=cfg["n_tracks"] + 16),
+        track_substrates=[cfg["substrate"]],
+    )
+
+    async def drive():
+        async with service:
+            handles = await asyncio.gather(
+                *(
+                    service.open_track(
+                        substrate=cfg["substrate"], init=init, seed=i
+                    )
+                    for i in range(cfg["n_tracks"])
+                )
+            )
+            responses = [[] for _ in handles]
+            start = time.perf_counter()
+            for k in range(cfg["steps_per_track"]):
+                step_responses = await asyncio.gather(
+                    *(
+                        handle.step(controls[k], depths[k], truth=truths[k])
+                        for handle in handles
+                    )
+                )
+                for bucket, response in zip(responses, step_responses):
+                    bucket.append(response)
+            elapsed = time.perf_counter() - start
+            stats = service.stats_snapshot()["tracks"]
+            return elapsed, responses, stats
+
+    elapsed, responses, track_stats = asyncio.run(drive())
+    steps_total = cfg["n_tracks"] * cfg["steps_per_track"]
+    steps_per_s = steps_total / elapsed
+
+    # Stream-determinism gate on a sample of tracks: estimates and
+    # cumulative energy/ops must equal the one-shot oracle bit-for-bit.
+    sample = np.linspace(
+        0, cfg["n_tracks"] - 1, cfg["parity_tracks"], dtype=int
+    )
+    parity_exact = True
+    for index in sample:
+        reference = reference_track_run(
+            world, cfg["substrate"], init, int(index),
+            (controls, depths, truths),
+        )
+        streamed = responses[index]
+        final = streamed[-1]
+        parity_exact = parity_exact and (
+            np.array_equal(
+                np.array([r.estimate for r in streamed]), reference.mean
+            )
+            and final.energy_j == reference.energy_j
+            and final.ops_executed == reference.ops_executed
+            and final.energy_breakdown_j == reference.energy_breakdown_j
+        )
+    return {
+        "case": "serve-tracking",
+        **cfg,
+        "steps_total": steps_total,
+        "elapsed_s": elapsed,
+        "steps_per_s": steps_per_s,
+        "direct_steps_per_s": direct_steps_per_s,
+        "throughput_vs_direct": steps_per_s / direct_steps_per_s,
+        "mean_step_batch": track_stats["mean_step_batch"],
+        "max_step_batch": track_stats["max_step_batch"],
+        "parity_exact": parity_exact,
+    }
+
+
 def _run_serve_bench(args: argparse.Namespace) -> tuple[int, dict]:
     entry = _bench_serve(args.repeats)
     print(
@@ -586,11 +717,27 @@ def _run_serve_bench(args: argparse.Namespace) -> tuple[int, dict]:
         f"{entry['speedup_sharded_vs_coalesced']:.2f}x sharded vs "
         "coalesced)"
     )
-    payload = {"version": __version__, "serve": entry}
+    tracking = _bench_tracking()
+    print(
+        f"  {tracking['case']}: {tracking['n_tracks']} live tracks, "
+        f"{tracking['steps_per_s']:.0f} steps/s "
+        f"(direct {tracking['direct_steps_per_s']:.0f} steps/s, "
+        f"{tracking['throughput_vs_direct']:.2f}x, mean step batch "
+        f"{tracking['mean_step_batch']:.1f}, parity "
+        f"{'exact' if tracking['parity_exact'] else 'BROKEN'})"
+    )
+    payload = {"version": __version__, "serve": entry, "tracking": tracking}
     out = Path(args.serve_out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
+    if not tracking["parity_exact"]:
+        print(
+            "error: streamed track steps diverged from the one-shot "
+            "session.run() oracle (stream-determinism contract broken)",
+            file=sys.stderr,
+        )
+        return 1, payload
     if entry["parity_max_abs_diff"] != 0.0 or not entry["parity_metering_exact"]:
         print(
             "error: served responses diverged from the pinned-mask "
@@ -626,6 +773,9 @@ _CHECK_METRICS: dict[str, tuple[str, ...]] = {
     "serve.speedup_vs_direct": ("serve", "serve", "speedup_vs_direct"),
     "serve.speedup_sharded_vs_coalesced": (
         "serve", "serve", "speedup_sharded_vs_coalesced",
+    ),
+    "serve.tracking.throughput_vs_direct": (
+        "serve", "tracking", "throughput_vs_direct",
     ),
 }
 
@@ -691,7 +841,9 @@ def _check_regression(
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     baselines: dict[str, dict] = {}
-    if args.check:
+    if args.check and not args.write_baseline:
+        # Read the committed baselines up front: a missing baseline is a
+        # setup error (exit 2 via main), never a silent pass.
         baselines = _load_baselines(args)
     codes = []
     fresh: dict[str, dict] = {}
@@ -701,7 +853,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.suite in ("serve", "all"):
         code, fresh["serve"] = _run_serve_bench(args)
         codes.append(code)
-    if args.check:
+    if args.write_baseline:
+        # Regenerate the committed baselines from this run in one step
+        # (only suites that ran and passed their internal gates).
+        if max(codes) == 0:
+            targets = {
+                "engine": args.baseline_engine,
+                "serve": args.baseline_serve,
+            }
+            for kind, payload in fresh.items():
+                baseline_path = Path(targets[kind])
+                baseline_path.parent.mkdir(parents=True, exist_ok=True)
+                baseline_path.write_text(
+                    json.dumps(payload, indent=2) + "\n"
+                )
+                print(f"baseline regenerated: {baseline_path}")
+        else:
+            print(
+                "error: refusing to write baselines from a failing bench "
+                "run",
+                file=sys.stderr,
+            )
+    elif args.check:
         codes.append(_check_regression(fresh, baselines, args.tolerance))
     return max(codes)
 
@@ -779,12 +952,16 @@ def _run_core_bench(args: argparse.Namespace) -> tuple[int, dict]:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
-    from repro.runtime import BatchPolicy, QueuePolicy, ShardPolicy
+    from repro.runtime import BatchPolicy, QueuePolicy, ShardPolicy, TrackPolicy
     from repro.serve import InferenceService
-    from repro.serve.demo import demo_model
+    from repro.serve.demo import demo_model, demo_track_world
     from repro.serve.http import serve_http
 
     substrates = args.substrates.split(",") if args.substrates else None
+    track_world = demo_track_world() if args.tracks else None
+    track_substrates = (
+        args.track_substrates.split(",") if args.track_substrates else None
+    )
     service = InferenceService(
         demo_model(args.model_seed),
         substrates=substrates,
@@ -796,6 +973,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shard=ShardPolicy(workers=args.workers),
         pool_size=args.pool_size,
         session_seed=args.session_seed,
+        track_world=track_world,
+        tracks=TrackPolicy(
+            max_tracks=args.max_tracks, idle_ttl_s=args.track_ttl_s
+        ),
+        track_substrates=track_substrates,
     )
 
     # SIGTERM must unwind through the finally below (the default handler
@@ -819,7 +1001,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"workers={args.workers})",
             flush=True,
         )
-        print("endpoints: POST /infer, GET /healthz, GET /stats", flush=True)
+        endpoints = "POST /infer, GET /healthz, GET /stats"
+        if args.tracks:
+            endpoints += (
+                ", POST /track/open, POST /track/step, POST /track/close"
+            )
+            print(
+                f"streaming tracks: demo world, max_tracks={args.max_tracks}, "
+                f"idle_ttl_s={args.track_ttl_s}",
+                flush=True,
+            )
+        print(f"endpoints: {endpoints}", flush=True)
         import threading
 
         threading.Event().wait()  # block until interrupted
@@ -965,6 +1157,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="committed serving baseline compared by --check",
     )
+    bench_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the committed baselines (--baseline-engine / "
+        "--baseline-serve paths) from this run in one step instead of "
+        "comparing against them; refused if the run fails its internal "
+        "gates.  Without it, --check still exits 2 on a missing baseline",
+    )
     bench_parser.set_defaults(handler=_cmd_bench)
 
     serve_parser = sub.add_parser(
@@ -1015,6 +1215,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--session-seed", type=int, default=0, metavar="N",
         help="hardware-instantiation seed (part of the parity contract)",
+    )
+    serve_parser.add_argument(
+        "--tracks", action="store_true",
+        help="also serve stateful streaming localization tracks over the "
+        "built-in demo world (POST /track/open, /track/step, "
+        "/track/close)",
+    )
+    serve_parser.add_argument(
+        "--max-tracks", type=int, default=1024, metavar="N",
+        help="bounded track admission: beyond this many live tracks, "
+        "/track/open rejects with a retryable 503",
+    )
+    serve_parser.add_argument(
+        "--track-ttl-s", type=float, default=600.0, metavar="S",
+        help="idle tracks are evicted after this long without a step "
+        "(the next step gets a clear 410, never a hang)",
+    )
+    serve_parser.add_argument(
+        "--track-substrates", default=None, metavar="CSV",
+        help="substrates to warm track prototypes for "
+        "(default: the served --substrates)",
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"

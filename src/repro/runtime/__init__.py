@@ -14,8 +14,10 @@ instead of hidden for-loops:
   directory (``manifest.json`` + ``results.jsonl``) with load/query
   helpers, streamed to as jobs finish.
 - :mod:`repro.runtime.policy` -- :class:`BatchPolicy` /
-  :class:`QueuePolicy`: the shared coalescing / bounded-admission knob
-  vocabulary used by every batching layer (notably :mod:`repro.serve`).
+  :class:`QueuePolicy` / :class:`ShardPolicy` / :class:`TrackPolicy`:
+  the shared coalescing / bounded-admission / scale-out / track-
+  lifecycle knob vocabulary used by every batching layer (notably
+  :mod:`repro.serve`).
 
 Batched *inference* (``session.run_batch``) lives with the sessions in
 :mod:`repro.api.substrates`; this package covers batched *experiments*.
@@ -39,7 +41,12 @@ from repro.runtime.executor import (
     run_plan,
 )
 from repro.runtime.plan import JobSpec, Plan
-from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy
+from repro.runtime.policy import (
+    BatchPolicy,
+    QueuePolicy,
+    ShardPolicy,
+    TrackPolicy,
+)
 from repro.runtime.store import RunStore
 
 __all__ = [
@@ -52,5 +59,6 @@ __all__ = [
     "QueuePolicy",
     "RunStore",
     "ShardPolicy",
+    "TrackPolicy",
     "run_plan",
 ]

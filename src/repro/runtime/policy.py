@@ -105,4 +105,59 @@ class ShardPolicy:
             )
 
 
-__all__ = ["BatchPolicy", "QueuePolicy", "ShardPolicy"]
+@dataclass(frozen=True)
+class TrackPolicy:
+    """Lifecycle bounds for stateful streaming tracks (:mod:`repro.serve.tracks`).
+
+    A live track holds filter state on its home shard plus a replay
+    buffer of acked measurements in the manager, so both the track count
+    and the per-track memory must be bounded explicitly.
+
+    Attributes:
+        max_tracks: live tracks admitted at once; ``/track/open`` beyond
+            this is an explicit retryable rejection
+            (:class:`repro.serve.ServiceOverloaded`), never unbounded
+            state growth.
+        idle_ttl_s: a track idle (no step/close) for longer than this is
+            evicted by the sweep; its next step gets a clear
+            "track expired" error instead of serving stale state.
+        sweep_interval_s: how often the eviction sweep runs.
+        replay_log_steps: acked measurements buffered per track for
+            crash replay; 0 disables replay entirely (shard death then
+            re-initializes the filter and flags ``state_lost``).
+        max_track_bytes: byte bound on one track's replay buffer
+            (controls + depth frames).  A track that outgrows it drops
+            the buffer and falls back to ``state_lost`` recovery -- the
+            track stays live, only its crash-replay ability is shed.
+    """
+
+    max_tracks: int = 1024
+    idle_ttl_s: float = 600.0
+    sweep_interval_s: float = 5.0
+    replay_log_steps: int = 256
+    max_track_bytes: int = 8 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.max_tracks < 1:
+            raise ValueError(
+                f"max_tracks must be >= 1, got {self.max_tracks}"
+            )
+        if self.idle_ttl_s <= 0:
+            raise ValueError(
+                f"idle_ttl_s must be > 0, got {self.idle_ttl_s}"
+            )
+        if self.sweep_interval_s <= 0:
+            raise ValueError(
+                f"sweep_interval_s must be > 0, got {self.sweep_interval_s}"
+            )
+        if self.replay_log_steps < 0:
+            raise ValueError(
+                f"replay_log_steps must be >= 0, got {self.replay_log_steps}"
+            )
+        if self.max_track_bytes < 0:
+            raise ValueError(
+                f"max_track_bytes must be >= 0, got {self.max_track_bytes}"
+            )
+
+
+__all__ = ["BatchPolicy", "QueuePolicy", "ShardPolicy", "TrackPolicy"]

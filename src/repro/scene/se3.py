@@ -115,8 +115,16 @@ def matrix_to_quaternion(rotation: np.ndarray) -> np.ndarray:
 
 def rotation_angle(rotation: np.ndarray) -> float:
     """Geodesic angle (radians, in [0, pi]) of a rotation matrix."""
-    trace = float(np.trace(np.asarray(rotation, dtype=float)))
-    return float(np.arccos(np.clip((trace - 1.0) / 2.0, -1.0, 1.0)))
+    m = np.asarray(rotation, dtype=float)
+    # atan2(|skew part|, trace-derived cos): arccos((tr-1)/2) alone loses
+    # all precision near identity (cos(1e-8) rounds to 1.0 -> angle 0).
+    sin_term = 0.5 * np.sqrt(
+        (m[2, 1] - m[1, 2]) ** 2
+        + (m[0, 2] - m[2, 0]) ** 2
+        + (m[1, 0] - m[0, 1]) ** 2
+    )
+    cos_term = 0.5 * (float(np.trace(m)) - 1.0)
+    return float(np.arctan2(sin_term, cos_term))
 
 
 def _project_to_so3(matrix: np.ndarray) -> np.ndarray:

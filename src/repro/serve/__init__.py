@@ -20,9 +20,17 @@ with results that stay bit-for-bit equal to a standalone pinned-mask
   :class:`WorkerSpec`: sharded scale-out over spawned worker processes
   (least-loaded + substrate-affinity routing, crash detection with 503
   + respawn), selected with ``ShardPolicy(workers=N)``.
+- :mod:`repro.serve.tracks` -- :class:`TrackManager` / :class:`TrackStore`:
+  stateful streaming localization tracks (sticky shard routing, bounded
+  admission + idle-TTL eviction via
+  :class:`~repro.runtime.policy.TrackPolicy`, crash recovery by
+  measurement-log replay or explicit ``state_lost`` re-init), with
+  :func:`reference_track_run` as the stream-determinism oracle.
 - :mod:`repro.serve.http` -- stdlib HTTP endpoint (``/infer``,
-  ``/healthz``, ``/stats``) behind ``repro serve [--workers N]``.
-- :mod:`repro.serve.demo` -- the deterministic quickstart model.
+  ``/track/open`` / ``/track/step`` / ``/track/close``, ``/healthz``,
+  ``/stats``) behind ``repro serve [--workers N] [--tracks]``.
+- :mod:`repro.serve.demo` -- the deterministic quickstart model and
+  demo track world.
 
 Quick start::
 
@@ -36,7 +44,7 @@ Quick start::
     response.result.mean, response.result.energy_j
 """
 
-from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy
+from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy, TrackPolicy
 from repro.serve.pool import (
     SessionPool,
     build_reference_session,
@@ -48,12 +56,26 @@ from repro.serve.service import (
     ServiceStats,
     reference_run,
 )
+from repro.serve.tracks import (
+    LocalTrackBackend,
+    ShardedTrackBackend,
+    TrackHandle,
+    TrackManager,
+    TrackStore,
+    TrackWorld,
+    reference_track_run,
+)
 from repro.serve.types import (
     DEFAULT_MODEL,
     InferenceRequest,
     InferenceResponse,
     RequestExecutionError,
     ServiceOverloaded,
+    TrackError,
+    TrackInit,
+    TrackOpenRequest,
+    TrackStepRequest,
+    TrackStepResponse,
     WorkerCrashed,
 )
 from repro.serve.workers import WorkerPool, WorkerSpec
@@ -65,16 +87,29 @@ __all__ = [
     "InferenceRequest",
     "InferenceResponse",
     "InferenceService",
+    "LocalTrackBackend",
     "QueuePolicy",
     "RequestExecutionError",
     "ServiceOverloaded",
     "ServiceStats",
     "SessionPool",
     "ShardPolicy",
+    "ShardedTrackBackend",
+    "TrackError",
+    "TrackHandle",
+    "TrackInit",
+    "TrackManager",
+    "TrackOpenRequest",
+    "TrackPolicy",
+    "TrackStepRequest",
+    "TrackStepResponse",
+    "TrackStore",
+    "TrackWorld",
     "WorkerCrashed",
     "WorkerPool",
     "WorkerSpec",
     "build_reference_session",
     "default_calibration_inputs",
     "reference_run",
+    "reference_track_run",
 ]

@@ -1,10 +1,16 @@
-"""Deterministic demo model for the serving quickstart and CI smoke.
+"""Deterministic demo model + track world for serving quickstarts and CI.
 
 ``repro serve`` needs a network to serve out of the box; this module
 builds a small MC-Dropout regression head whose weights depend only on
 ``seed``, so a client process (the CI parity step, the README curl
 example) can rebuild the exact served model and verify bit-parity
 against a local :func:`repro.serve.reference_run`.
+
+:func:`demo_track_world` is the streaming-track analogue: a tiny but
+complete localization world (room scene, depth camera, small particle
+filter) that a client process can rebuild exactly to verify streamed
+``/track/step`` responses bit-for-bit against
+:func:`repro.serve.reference_track_run`.
 """
 
 from __future__ import annotations
@@ -37,11 +43,86 @@ def demo_inputs(seed: int = 0, batch: int = 4) -> np.ndarray:
     return np.random.default_rng(seed + 100).normal(size=(batch, DEMO_INPUTS))
 
 
+DEMO_TRACK_SCENE_SEED = 42
+DEMO_TRACK_PARTICLES = 48
+
+
+def demo_track_world(seed: int = DEMO_TRACK_SCENE_SEED):
+    """A deterministic, deliberately small :class:`~repro.serve.TrackWorld`.
+
+    Small enough (48 particles, 300 map points, 16x12 camera) that a
+    per-track step costs ~1 ms, so thousands of live tracks are cheap in
+    the bench and CI smokes, yet it exercises the full pipeline: scene,
+    depth rendering, GMM map compression, CIM field evaluation.
+    """
+    from repro.scene.camera import PinholeCamera, body_camera_mount
+    from repro.scene.scene import make_room_scene
+    from repro.serve.tracks import TrackWorld
+
+    rng = np.random.default_rng(seed)
+    scene = make_room_scene(rng, n_furniture=3)
+    map_cloud = scene.sample_point_cloud(300, rng, noise_std=0.01)
+    camera = PinholeCamera.from_fov(16, 12, fov_x_deg=70.0)
+    mount = body_camera_mount(np.deg2rad(25.0))
+    return TrackWorld(
+        map_cloud=map_cloud,
+        camera=camera,
+        session_seed=seed,
+        localizer_kwargs=dict(
+            camera_mount=mount,
+            n_components=6,
+            n_particles=DEMO_TRACK_PARTICLES,
+            total_columns=60,
+            max_pixels=16,
+        ),
+    )
+
+
+def demo_track_measurements(
+    n_steps: int = 6, seed: int = DEMO_TRACK_SCENE_SEED
+) -> tuple[np.ndarray, list[np.ndarray], np.ndarray]:
+    """Deterministic ``(controls, depths, truths)`` for the demo world.
+
+    A drone orbit through the same scene :func:`demo_track_world` builds
+    (same ``seed`` -> same scene), rendered with the same camera/mount,
+    so streamed steps can be checked against ground truth and against
+    :func:`repro.serve.reference_track_run`.
+    """
+    from repro.filtering.measurement import state_to_pose
+    from repro.scene.camera import PinholeCamera, body_camera_mount
+    from repro.scene.render import DepthRenderer
+    from repro.scene.scene import make_room_scene
+    from repro.scene.trajectory import drone_orbit_states, states_to_controls
+
+    rng = np.random.default_rng(seed)
+    scene = make_room_scene(rng, n_furniture=3)
+    camera = PinholeCamera.from_fov(16, 12, fov_x_deg=70.0)
+    mount = body_camera_mount(np.deg2rad(25.0))
+    states = drone_orbit_states(
+        center=np.zeros(3), radius=1.3, height=1.2, n_steps=n_steps
+    )
+    # The first step holds station (zero control); states_to_controls
+    # needs at least two states, so a one-step request is just that.
+    if n_steps == 1:
+        controls = np.zeros((1, states.shape[1]))
+    else:
+        controls = np.vstack(
+            [np.zeros(states.shape[1]), states_to_controls(states)]
+        )[:n_steps]
+    renderer = DepthRenderer(scene, camera)
+    depths = [renderer.render(state_to_pose(s, mount)) for s in states]
+    return controls, depths, states
+
+
 __all__ = [
     "DEMO_DROPOUT",
     "DEMO_HIDDEN",
     "DEMO_INPUTS",
     "DEMO_OUTPUTS",
+    "DEMO_TRACK_PARTICLES",
+    "DEMO_TRACK_SCENE_SEED",
     "demo_inputs",
     "demo_model",
+    "demo_track_measurements",
+    "demo_track_world",
 ]

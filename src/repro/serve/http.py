@@ -12,10 +12,26 @@ threads bridge into the service's asyncio loop with
   died mid-flight (:class:`~repro.serve.types.WorkerCrashed` is a
   :class:`~repro.serve.ServiceOverloaded` -- the shard respawns, the
   client retries; a dead shard never hangs a request).
-- ``GET /healthz`` -- static service configuration, 200 when serving.
+- ``POST /track/open`` / ``/track/step`` / ``/track/close`` -- stateful
+  streaming tracks (:mod:`repro.serve.tracks`): open a live
+  particle-filter localization stream (503 + ``Retry-After`` beyond the
+  :class:`~repro.runtime.policy.TrackPolicy` admission bound), feed it
+  one measurement per step, close it.  Track lifecycle errors are
+  typed: 404 for unknown tracks (and services without a track world),
+  410 for expired (idle-TTL-evicted) or closed tracks -- never a hang.
+- ``GET /healthz`` -- static service configuration plus liveness:
+  ``status`` is ``"degraded"`` (with the respawning shard ids) while a
+  dead worker shard is being respawned, so load balancers can drain
+  early; ``"ok"`` otherwise.
 - ``GET /stats``   -- live counters (requests, batches, rejections,
-  per-substrate tallies, pool idle states, and -- when sharded -- one
-  row per worker shard with queue depth and dispatch ages).
+  per-substrate tallies, pool idle states, track lifecycle tallies,
+  and -- when sharded -- one row per worker shard with queue depth and
+  dispatch ages).
+
+Every 503 -- admission bound, shard crash, track admission -- carries a
+``Retry-After`` header and machine-readable ``"retryable": true`` in
+the JSON body, so clients back off on structure instead of
+string-matching error messages.
 
 Every body is emitted with :func:`repro.api.results.strict_dumps`, so
 the wire never carries bare ``NaN`` / ``Infinity`` tokens: non-finite
@@ -30,17 +46,31 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
-from repro.api.results import strict_dumps
+from repro.api.results import strict_dumps, strict_loads
 from repro.serve.service import InferenceService
 from repro.serve.types import (
     InferenceRequest,
     RequestExecutionError,
     ServiceOverloaded,
+    TrackError,
+    TrackOpenRequest,
+    TrackStepRequest,
     WorkerCrashed,
 )
 
 REQUEST_TIMEOUT_S = 300.0
 MAX_BODY_BYTES = 32 * 1024 * 1024
+RETRY_AFTER_S = 1
+
+# TrackError.kind -> HTTP status: unknown tracks (and track serving
+# being disabled) are 404s; expired/closed tracks are 410 Gone -- the id
+# was valid once but will never serve again.
+_TRACK_STATUS = {
+    "unknown": 404,
+    "disabled": 404,
+    "expired": 410,
+    "closed": 410,
+}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -51,62 +81,100 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, payload: Any) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: Any,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = strict_dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _reply_overloaded(self, error: ServiceOverloaded) -> None:
+        """All 503s are structurally retryable: ``Retry-After`` header
+        plus ``retryable: true`` in the body, so clients back off
+        without string-matching."""
+        if isinstance(error, WorkerCrashed):
+            # Shard death, not an admission bound: report which shard
+            # died instead of a meaningless queue limit.
+            payload = {
+                "error": str(error),
+                "retryable": True,
+                "shard": error.shard,
+                "pending": error.pending,
+            }
+        else:
+            payload = {
+                "error": str(error),
+                "retryable": True,
+                "pending": error.pending,
+                "max_pending": error.max_pending,
+            }
+        self._reply(503, payload, headers={"Retry-After": str(RETRY_AFTER_S)})
 
     def do_GET(self) -> None:
         service = self.server.service
         if self.path == "/healthz":
-            self._reply(200, {"status": "ok", **service.describe()})
+            self._reply(200, {**service.health(), **service.describe()})
         elif self.path == "/stats":
             self._reply(200, service.stats_snapshot())
         else:
             self._reply(404, {"error": f"unknown path {self.path!r}"})
 
-    def do_POST(self) -> None:
-        if self.path != "/infer":
-            self._reply(404, {"error": f"unknown path {self.path!r}"})
-            return
+    def _read_body(self) -> str | None:
         try:
             length = int(self.headers.get("Content-Length", 0))
         except ValueError:
             self._reply(400, {"error": "bad Content-Length"})
-            return
+            return None
         if length <= 0 or length > MAX_BODY_BYTES:
             self._reply(400, {"error": "missing or oversized request body"})
-            return
-        body = self.rfile.read(length)
+            return None
         try:
-            request = InferenceRequest.from_json(body.decode("utf-8"))
-        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as error:
+            return self.rfile.read(length).decode("utf-8")
+        except UnicodeDecodeError as error:
+            self._reply(400, {"error": f"bad request: {error}"})
+            return None
+
+    def do_POST(self) -> None:
+        routes = {
+            "/infer": self._post_infer,
+            "/track/open": self._post_track_open,
+            "/track/step": self._post_track_step,
+            "/track/close": self._post_track_close,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        handler(body)
+
+    def _run(self, coroutine: Any) -> Any:
+        """Bridge a service coroutine into the handler thread."""
+        future = asyncio.run_coroutine_threadsafe(
+            coroutine, self.server.loop
+        )
+        return future.result(timeout=REQUEST_TIMEOUT_S)
+
+    def _post_infer(self, body: str) -> None:
+        try:
+            request = InferenceRequest.from_json(body)
+        except (ValueError, KeyError, TypeError) as error:
             self._reply(400, {"error": f"bad request: {error}"})
             return
-        future = asyncio.run_coroutine_threadsafe(
-            self.server.service.submit(request), self.server.loop
-        )
         try:
-            response = future.result(timeout=REQUEST_TIMEOUT_S)
+            response = self._run(self.server.service.submit(request))
         except ServiceOverloaded as error:
-            if isinstance(error, WorkerCrashed):
-                # Shard death, not an admission bound: report which
-                # shard died instead of a meaningless queue limit.
-                payload = {
-                    "error": str(error),
-                    "shard": error.shard,
-                    "pending": error.pending,
-                }
-            else:
-                payload = {
-                    "error": str(error),
-                    "pending": error.pending,
-                    "max_pending": error.max_pending,
-                }
-            self._reply(503, payload)
+            self._reply_overloaded(error)
         except RequestExecutionError as error:
             # Engine/session failure while executing the micro-batch: a
             # server-side fault, never the client's request.
@@ -120,6 +188,75 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(500, {"error": f"{type(error).__name__}: {error}"})
         else:
             self._reply(200, response.to_dict())
+
+    def _reply_track_error(self, error: TrackError) -> None:
+        self._reply(
+            _TRACK_STATUS.get(error.kind, 400),
+            {"error": str(error), "kind": error.kind, "retryable": False},
+        )
+
+    def _post_track_open(self, body: str) -> None:
+        service = self.server.service
+        try:
+            request = TrackOpenRequest.from_json(body)
+        except (ValueError, KeyError, TypeError) as error:
+            self._reply(400, {"error": f"bad request: {error}"})
+            return
+        try:
+            result = self._run(service.track_open(request))
+        except ServiceOverloaded as error:
+            self._reply_overloaded(error)
+        except TrackError as error:
+            self._reply_track_error(error)
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            self._reply(400, {"error": str(message)})
+        except Exception as error:
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._reply(200, result)
+
+    def _post_track_step(self, body: str) -> None:
+        service = self.server.service
+        try:
+            request = TrackStepRequest.from_json(body)
+        except (ValueError, KeyError, TypeError) as error:
+            self._reply(400, {"error": f"bad request: {error}"})
+            return
+        try:
+            response = self._run(service.track_step(request))
+        except ServiceOverloaded as error:
+            self._reply_overloaded(error)
+        except TrackError as error:
+            self._reply_track_error(error)
+        except RequestExecutionError as error:
+            self._reply(500, {"error": str(error)})
+        except (KeyError, ValueError) as error:
+            message = error.args[0] if error.args else str(error)
+            self._reply(400, {"error": str(message)})
+        except Exception as error:
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._reply(200, response.to_dict())
+
+    def _post_track_close(self, body: str) -> None:
+        service = self.server.service
+        try:
+            payload = strict_loads(body)
+            track_id = str(payload["track_id"])
+        except (ValueError, KeyError, TypeError) as error:
+            self._reply(400, {"error": f"bad request: {error}"})
+            return
+        try:
+            result = self._run(service.track_close(track_id))
+        except ServiceOverloaded as error:
+            self._reply_overloaded(error)
+        except TrackError as error:
+            self._reply_track_error(error)
+        except Exception as error:
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._reply(200, result)
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

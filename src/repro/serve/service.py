@@ -54,7 +54,12 @@ import numpy as np
 
 from repro.api.substrates import MCDropoutSession, available_substrates
 from repro.nn.sequential import Sequential
-from repro.runtime.policy import BatchPolicy, QueuePolicy, ShardPolicy
+from repro.runtime.policy import (
+    BatchPolicy,
+    QueuePolicy,
+    ShardPolicy,
+    TrackPolicy,
+)
 from repro.serve.execution import (
     Outcome,
     RequestItem,
@@ -257,10 +262,10 @@ class Batcher:
         )
         if len(batch) > 1:
             self._stats.batched_requests += len(batch)
-        items: list[RequestItem] = [
-            (p.request.inputs, p.request.seed, p.request.request_id)
-            for p in batch
-        ]
+        # wire_item() keeps the Batcher request-shape agnostic: the same
+        # coalescing loop batches stateless /infer requests and track
+        # steps (repro.serve.tracks), whose items differ on the wire.
+        items: list[RequestItem] = [p.request.wire_item() for p in batch]
         outcomes: Sequence[Any]
         try:
             outcomes = await self._backend.execute(self.key, items)
@@ -312,6 +317,15 @@ class InferenceService:
         session_seed: hardware-instantiation seed shared by every pool
             session and by :meth:`reference_session` -- part of the
             determinism contract.
+        track_world: optional :class:`~repro.serve.tracks.TrackWorld`;
+            when given, the service also serves stateful streaming
+            tracks (``/track/open`` / ``/track/step`` / ``/track/close``
+            and :meth:`open_track`) over localization sessions built
+            from it.
+        tracks: track lifecycle bounds (see :class:`~repro.runtime.
+            policy.TrackPolicy`).
+        track_substrates: substrates to warm track prototypes for
+            (default: the served ``substrates``).
     """
 
     def __init__(
@@ -325,6 +339,9 @@ class InferenceService:
         pool_size: int = 1,
         calibration_inputs: np.ndarray | None = None,
         session_seed: int = 0,
+        track_world: Any = None,
+        tracks: TrackPolicy | None = None,
+        track_substrates: Sequence[str] | None = None,
     ):
         if isinstance(models, Mapping):
             self.models = dict(models)
@@ -349,6 +366,15 @@ class InferenceService:
         self.pool_size = int(pool_size)
         self.calibration_inputs = calibration_inputs
         self.session_seed = int(session_seed)
+        self.track_world = track_world
+        self.track_policy = tracks or TrackPolicy()
+        if track_substrates is None:
+            self.track_substrates = list(self.substrates)
+        else:
+            self.track_substrates = [
+                get_substrate(name).name for name in track_substrates
+            ]
+        self._track_manager: Any = None
         self._keys: set[PairKey] = {
             (substrate, model)
             for substrate in self.substrates
@@ -390,6 +416,8 @@ class InferenceService:
                         n_iterations=self.n_iterations,
                         calibration_inputs=self.calibration_inputs,
                         session_seed=self.session_seed,
+                        track_world=self.track_world,
+                        track_substrates=tuple(self.track_substrates),
                     ),
                     self.shard_policy,
                 )
@@ -418,6 +446,36 @@ class InferenceService:
             batcher = Batcher(key, self.batch_policy, backend, self.stats)
             batcher.start()
             self._batchers[key] = batcher
+        if self.track_world is not None:
+            from repro.serve.tracks import (
+                LocalTrackBackend,
+                ShardedTrackBackend,
+                TrackManager,
+                TrackStore,
+            )
+
+            if self._track_manager is None:
+                if self._worker_pool is not None:
+                    track_backend: Any = ShardedTrackBackend(
+                        self._worker_pool
+                    )
+                else:
+                    # Build the prototypes off-loop: calibrating one
+                    # session per substrate takes real time.
+                    store = await asyncio.get_running_loop().run_in_executor(
+                        None,
+                        TrackStore,
+                        self.track_world,
+                        tuple(self.track_substrates),
+                    )
+                    track_backend = LocalTrackBackend(store)
+                self._track_manager = TrackManager(
+                    track_backend,
+                    policy=self.track_policy,
+                    batch=self.batch_policy,
+                    substrates=self.track_substrates,
+                )
+            await self._track_manager.start()
         self._started = True
         self._started_at = time.time()
 
@@ -434,6 +492,12 @@ class InferenceService:
         # must see the flag and be rejected, not enqueue into a batcher
         # whose drain has already run (its future would never resolve).
         self._started = False
+        if self._track_manager is not None:
+            # Live tracks die with the service; the manager closes its
+            # per-home step batchers and the sweep task first so no
+            # step future is abandoned mid-drain.
+            await self._track_manager.stop()
+            self._track_manager = None
         for batcher in self._batchers.values():
             await batcher.close()
         self._batchers.clear()
@@ -507,6 +571,60 @@ class InferenceService:
         finally:
             self._pending -= 1
 
+    # -- streaming tracks --------------------------------------------------
+
+    def _manager(self) -> Any:
+        if not self._started:
+            raise RuntimeError(
+                "service is not started (use 'async with service:' or "
+                "await service.start())"
+            )
+        if self._track_manager is None:
+            from repro.serve.types import TrackError
+
+            raise TrackError(
+                "disabled",
+                "track serving is disabled: the service was built "
+                "without a track_world",
+            )
+        return self._track_manager
+
+    async def track_open(self, request: Any) -> dict:
+        """Open one streaming track (see :class:`~repro.serve.types.
+        TrackOpenRequest`); 503 beyond ``TrackPolicy.max_tracks``."""
+        return await self._manager().open(request)
+
+    async def track_step(self, request: Any) -> Any:
+        """Serve one measurement of an open track."""
+        return await self._manager().step(request)
+
+    async def track_close(self, track_id: str) -> dict:
+        """Close a track and release its shard-side state."""
+        return await self._manager().close(track_id)
+
+    async def open_track(
+        self,
+        substrate: str = "cim",
+        init: Any = None,
+        seed: int = 0,
+        track_id: str | None = None,
+    ) -> Any:
+        """Open a track and return an async :class:`~repro.serve.tracks.
+        TrackHandle` (``await handle.step(control, depth)``)."""
+        from repro.serve.tracks import TrackHandle
+        from repro.serve.types import TrackOpenRequest
+
+        if init is None:
+            raise ValueError("open_track needs an init (TrackInit)")
+        result = await self.track_open(
+            TrackOpenRequest(
+                init=init, substrate=substrate, seed=seed, track_id=track_id
+            )
+        )
+        return TrackHandle(
+            self._manager(), result["track_id"], result["substrate"]
+        )
+
     def infer_many(
         self, requests: Iterable[InferenceRequest]
     ) -> list[InferenceResponse]:
@@ -571,6 +689,22 @@ class InferenceService:
             )
         return self._pools[key].reference_session()
 
+    def health(self) -> dict[str, Any]:
+        """Liveness summary for ``/healthz``.
+
+        ``status`` is ``"degraded"`` -- with the respawning shard ids --
+        while any worker shard is dead or warming a replacement, so load
+        balancers can drain early instead of eating retryable 503s;
+        ``"ok"`` otherwise.
+        """
+        respawning: list[int] = []
+        if self._worker_pool is not None and self._started:
+            respawning = self._worker_pool.respawning_shards()
+        return {
+            "status": "degraded" if respawning else "ok",
+            "respawning_shards": respawning,
+        }
+
     def describe(self) -> dict[str, Any]:
         """Static service configuration (for ``/healthz``)."""
         return {
@@ -590,6 +724,11 @@ class InferenceService:
             "pool_size": self.pool_size,
             "session_seed": self.session_seed,
             "started": self._started,
+            "tracks": (
+                None
+                if self._track_manager is None
+                else self._track_manager.describe()
+            ),
         }
 
     def stats_snapshot(self) -> dict[str, Any]:
@@ -618,6 +757,11 @@ class InferenceService:
                 None
                 if self._started_at is None
                 else time.time() - self._started_at
+            ),
+            "tracks": (
+                None
+                if self._track_manager is None
+                else self._track_manager.stats_snapshot()
             ),
         }
 

@@ -1,0 +1,972 @@
+"""Stateful streaming track sessions over the localization workload.
+
+The paper's flagship workload -- particle-filter localization on the CIM
+substrate -- is a *stream*: a drone sends measurements over time and
+carries filter state between steps.  This module adds the service's
+first stateful layer on top of the stateless ``/infer`` path:
+
+- :class:`TrackWorld` -- the shared world (map cloud, camera, localizer
+  configuration) every track session is built from, picklable so shard
+  processes rebuild bit-identical sessions from one spec.
+- :class:`TrackStore` -- the per-process execution engine.  It does NOT
+  build one session per track: it keeps one shared prototype
+  :class:`~repro.api.substrates.LocalizationSession` per substrate and
+  swaps each track's state -- particles, its private RNG, and private
+  copies of the backend's energy ledgers -- in and out around every
+  step.  Per-track state is O(n_particles), which is what makes
+  thousands of live tracks feasible in one process.
+- :class:`TrackManager` -- lifecycle, placement, eviction and recovery:
+  open/step/close with sticky routing of every track to one home shard,
+  :class:`~repro.runtime.policy.TrackPolicy` admission (max live tracks,
+  503 beyond) and idle-TTL eviction, micro-batching of concurrent steps
+  from *different* tracks on the same shard through the existing
+  :class:`~repro.serve.service.Batcher`, and crash recovery that either
+  replays the track's buffered measurement log on a fresh shard or
+  re-initializes the filter and flags ``state_lost`` on the next step
+  response.
+
+The stream determinism contract (:func:`reference_track_run` is the
+oracle): a track stepped measurement-by-measurement is bit-for-bit equal
+-- estimates and cumulative energy/ops via scoped ledgers -- to a
+one-shot ``LocalizationSession.run()`` over the same measurement
+sequence on an identically built session.  Two mechanisms carry it:
+
+1. Every source of randomness in a localization step flows through the
+   caller-provided generator, so a per-track generator seeded once at
+   open and carried across steps reproduces the one-shot run exactly.
+2. Each track owns deep copies of the backend's post-calibration
+   ledgers (the exact state a fresh session starts serving with).  A
+   step swaps them into the backend's ledger attributes, so cumulative
+   metering is the same single ``since(open_mark)`` subtraction the
+   one-shot run performs -- never a sum of per-step float deltas, which
+   would not be bit-exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import time
+import uuid
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.api.results import InferenceResult
+from repro.api.substrates import LocalizationSession, get_substrate
+from repro.circuits.energy import EnergyLedger
+from repro.core.tiling import TiledCIMBackend
+from repro.filtering.measurement import CIMArrayBackend, DigitalGMMBackend
+from repro.runtime.policy import BatchPolicy, TrackPolicy
+from repro.serve.types import (
+    RequestExecutionError,
+    ServiceOverloaded,
+    TrackError,
+    TrackInit,
+    TrackOpenRequest,
+    TrackStepRequest,
+    TrackStepResponse,
+    WorkerCrashed,
+)
+
+# The pseudo-home used when tracks execute in-process (no shard pool).
+LOCAL_HOME = (-1, -1)
+
+_TOMBSTONE_LIMIT = 4096
+# Per-logged-step container overhead added to the array payload bytes.
+_LOG_ENTRY_OVERHEAD = 256
+
+
+@dataclass(frozen=True)
+class TrackWorld:
+    """Everything needed to rebuild identical localization sessions.
+
+    One world is shared by the whole service (and crosses the spawn
+    boundary once inside the :class:`~repro.serve.workers.WorkerSpec`);
+    every track on every shard runs against sessions built from it with
+    the same ``session_seed``, which is what makes shards bit-for-bit
+    interchangeable for streams.
+    """
+
+    map_cloud: np.ndarray
+    camera: Any
+    session_seed: int = 0
+    localizer_kwargs: dict = field(default_factory=dict)
+
+    def build_session(self, substrate: str) -> LocalizationSession:
+        """A freshly calibrated session for ``substrate`` (the oracle's
+        and every prototype's construction path)."""
+        return get_substrate(substrate).localization_session(
+            self.map_cloud,
+            self.camera,
+            rng=np.random.default_rng(self.session_seed),
+            **self.localizer_kwargs,
+        )
+
+
+def reference_track_run(
+    world: TrackWorld,
+    substrate: str,
+    init: TrackInit,
+    seed: int,
+    measurements: tuple[np.ndarray, list[np.ndarray], np.ndarray],
+) -> InferenceResult:
+    """The stream determinism oracle.
+
+    One generator seeded with the track seed drives the init and the
+    whole one-shot run -- exactly the generator usage of a served track
+    stepped measurement-by-measurement.  ``measurements`` is the
+    ``(controls, depths, truth)`` tuple ``LocalizationSession.run``
+    takes.
+    """
+    session = world.build_session(substrate)
+    rng = np.random.default_rng(int(seed))
+    init.apply(session, rng)
+    return session.run(measurements, rng=rng)
+
+
+def _ledger_cells(backend: Any) -> list[tuple[Any, str]]:
+    """The attribute locations where a backend's ledgers live.
+
+    Swapping these cells is how a track's private ledgers receive the
+    backend's metering during its step.  The cell order for tiled
+    backends matches ``TiledInverterArrayMap.merged_ledger()`` so the
+    merged view below reproduces the backend's own ledger view exactly.
+    """
+    if isinstance(backend, CIMArrayBackend):
+        return [(backend.array, "ledger")]
+    if isinstance(backend, DigitalGMMBackend):
+        return [(backend, "_ledger")]
+    if isinstance(backend, TiledCIMBackend):
+        return [
+            (array, "ledger")
+            for array in backend.tiled_map._arrays.values()
+        ]
+    raise TypeError(
+        f"no ledger cells known for backend {type(backend).__name__}"
+    )
+
+
+def _merged_view(ledgers: Sequence[EnergyLedger]) -> EnergyLedger:
+    """The ledger view a backend would expose over these cells.
+
+    A single cell is returned as-is (merging into a fresh ledger would
+    reorder operations to sorted insertion order and change the
+    summation order of ``total_energy_j`` -- a bit-parity break); tiled
+    cells merge exactly like the backend's own ``merged_ledger()``.
+    """
+    if len(ledgers) == 1:
+        return ledgers[0]
+    merged = EnergyLedger(label="track")
+    for ledger in ledgers:
+        merged.merge(ledger)
+    return merged
+
+
+def decode_track_outcomes(encoded: Sequence[tuple]) -> list[Any]:
+    """Decode wire-encoded track outcomes into payloads / exceptions.
+
+    The encoding -- ``("ok", payload)`` / ``("track_error", (kind,
+    message))`` / ``("error", message)`` -- is shared by the in-process
+    store path and the shard pipe, so both deployment shapes fail the
+    same way.
+    """
+    outcomes: list[Any] = []
+    for tag, payload in encoded:
+        if tag == "ok":
+            outcomes.append(payload)
+        elif tag == "track_error":
+            kind, message = payload
+            outcomes.append(TrackError(kind, message))
+        else:
+            outcomes.append(RequestExecutionError(str(payload)))
+    return outcomes
+
+
+class _StoredTrack:
+    """One track's swap-in state inside a :class:`TrackStore`."""
+
+    __slots__ = ("substrate", "rng", "particles", "ledgers", "open_mark", "steps")
+
+    def __init__(self, substrate: str, rng: np.random.Generator):
+        self.substrate = substrate
+        self.rng = rng
+        self.particles: Any = None
+        self.ledgers: list[EnergyLedger] = []
+        self.open_mark: Any = None
+        self.steps = 0
+
+
+class TrackStore:
+    """Per-process track execution over shared prototype sessions.
+
+    One prototype :class:`LocalizationSession` per substrate is built
+    (and calibrated) once; its post-calibration ledgers are deep-copied
+    as the baseline every new track starts from -- the exact ledger
+    state a fresh reference session begins serving with.  All methods
+    must be called from one thread at a time (the manager serializes
+    through a single-thread executor in-process, and shard processes are
+    serial by construction).
+    """
+
+    def __init__(self, world: TrackWorld, substrates: Sequence[str]):
+        self.world = world
+        self._prototypes: dict[str, tuple[LocalizationSession, list, list]] = {}
+        for name in substrates:
+            resolved = get_substrate(name).name
+            if resolved in self._prototypes:
+                continue
+            session = world.build_session(resolved)
+            cells = _ledger_cells(session.localizer.field_backend)
+            baseline = [
+                copy.deepcopy(getattr(owner, attr)) for owner, attr in cells
+            ]
+            self._prototypes[resolved] = (session, cells, baseline)
+        self._tracks: dict[str, _StoredTrack] = {}
+
+    @property
+    def substrates(self) -> list[str]:
+        return sorted(self._prototypes)
+
+    def live_count(self) -> int:
+        return len(self._tracks)
+
+    def open(
+        self, track_id: str, substrate: str, init: TrackInit, seed: int
+    ) -> dict:
+        """(Re-)initialize a track's filter state; idempotent on re-open
+        so crash recovery can always start from a clean init."""
+        resolved = get_substrate(substrate).name
+        if resolved not in self._prototypes:
+            raise KeyError(
+                f"no track prototype for substrate {resolved!r}; "
+                f"serving {self.substrates}"
+            )
+        session, cells, baseline = self._prototypes[resolved]
+        track = _StoredTrack(resolved, np.random.default_rng(int(seed)))
+        init.apply(session, track.rng)
+        track.particles = session.localizer.filter.particles
+        track.ledgers = [copy.deepcopy(ledger) for ledger in baseline]
+        track.open_mark = _merged_view(track.ledgers).snapshot()
+        self._tracks[track_id] = track
+        return {
+            "track_id": track_id,
+            "substrate": resolved,
+            "n_particles": int(session.localizer.n_particles),
+        }
+
+    def step_batch(self, items: Sequence[tuple]) -> list[tuple]:
+        """Execute one micro-batch of steps, one wire-encoded outcome per
+        item (items may mix tracks and substrates; same-track items
+        execute in list order)."""
+        encoded: list[tuple] = []
+        for track_id, control, depth, truth in items:
+            try:
+                encoded.append(
+                    ("ok", self._step_one(track_id, control, depth, truth))
+                )
+            except TrackError as error:
+                encoded.append(("track_error", (error.kind, str(error))))
+            except Exception as error:
+                encoded.append(
+                    ("error", f"{type(error).__name__}: {error}")
+                )
+        return encoded
+
+    def _step_one(
+        self,
+        track_id: str,
+        control: np.ndarray,
+        depth: np.ndarray,
+        truth: Optional[np.ndarray],
+    ) -> dict:
+        track = self._tracks.get(track_id)
+        if track is None:
+            raise TrackError(
+                "unknown", f"track {track_id!r} is not open on this shard"
+            )
+        session, cells, _ = self._prototypes[track.substrate]
+        localizer = session.localizer
+        pf = localizer.filter
+        step_mark = _merged_view(track.ledgers).snapshot()
+        pf.particles = track.particles
+        pf.history = []
+        saved = [getattr(owner, attr) for owner, attr in cells]
+        for (owner, attr), ledger in zip(cells, track.ledgers):
+            setattr(owner, attr, ledger)
+        try:
+            diagnostics = localizer.step(
+                np.asarray(control, dtype=float),
+                np.asarray(depth, dtype=float),
+                track.rng,
+            )
+        finally:
+            for (owner, attr), ledger in zip(cells, saved):
+                setattr(owner, attr, ledger)
+        track.particles = pf.particles
+        track.steps += 1
+        view = _merged_view(track.ledgers)
+        cumulative = view.since(track.open_mark)
+        step_scope = view.since(step_mark)
+        estimate = np.asarray(diagnostics.estimate, dtype=float)
+        error_m = None
+        if truth is not None:
+            truth_state = np.asarray(truth, dtype=float).reshape(-1)
+            error_m = float(
+                np.linalg.norm(estimate[:3] - truth_state[:3])
+            )
+        return {
+            "estimate": estimate,
+            "ess": float(diagnostics.ess),
+            "resampled": bool(diagnostics.resampled),
+            "log_evidence": float(diagnostics.log_evidence),
+            "spread": float(diagnostics.spread),
+            "error_m": error_m,
+            "energy_j": cumulative.total_energy_j(),
+            "ops_executed": cumulative.total_count(),
+            "energy_breakdown_j": {
+                op: cumulative.energy(op) for op in cumulative.operations
+            },
+            "step_energy_j": step_scope.total_energy_j(),
+            "step_ops": step_scope.total_count(),
+            "substrate": track.substrate,
+        }
+
+    def close(self, track_id: str) -> dict:
+        track = self._tracks.pop(track_id, None)
+        if track is None:
+            raise TrackError(
+                "unknown", f"track {track_id!r} is not open on this shard"
+            )
+        return {
+            "track_id": track_id,
+            "substrate": track.substrate,
+            "steps": track.steps,
+        }
+
+    def drop(self, track_id: str) -> bool:
+        """Silent eviction (TTL sweep): no error when already gone."""
+        return self._tracks.pop(track_id, None) is not None
+
+    def describe(self) -> dict:
+        return {
+            "substrates": self.substrates,
+            "live_tracks": self.live_count(),
+        }
+
+
+class LocalTrackBackend:
+    """In-process track execution behind the manager's async interface.
+
+    A single-thread executor serializes every store call: the prototype
+    swap-in/swap-out must never interleave.  There is one pseudo-home
+    (:data:`LOCAL_HOME`), always ready; crash recovery never triggers
+    because the "shard" is this process.
+    """
+
+    spawn_timeout_s = 5.0
+
+    def __init__(self, store: TrackStore):
+        self.store = store
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-tracks"
+        )
+
+    async def _call(self, fn: Any, *args: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    def ready_homes(self) -> list[tuple[int, int]]:
+        return [LOCAL_HOME]
+
+    async def open(
+        self,
+        home: tuple[int, int],
+        track_id: str,
+        substrate: str,
+        init: TrackInit,
+        seed: int,
+    ) -> dict:
+        return await self._call(self.store.open, track_id, substrate, init, seed)
+
+    async def steps(
+        self, home: tuple[int, int], items: Sequence[tuple]
+    ) -> list[Any]:
+        encoded = await self._call(self.store.step_batch, list(items))
+        return decode_track_outcomes(encoded)
+
+    async def close(self, home: tuple[int, int], track_id: str) -> dict:
+        return await self._call(self.store.close, track_id)
+
+    def describe(self) -> dict:
+        return {"mode": "local", **self.store.describe()}
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+class ShardedTrackBackend:
+    """Track execution over a :class:`~repro.serve.workers.WorkerPool`.
+
+    Homes are ``(shard index, generation)`` pairs: a respawned shard has
+    a new generation, so a track homed on the dead one can never be
+    silently served by its fresh-state replacement -- dispatch raises
+    :class:`~repro.serve.types.WorkerCrashed` and the manager recovers
+    explicitly (replay or ``state_lost``).
+    """
+
+    def __init__(self, pool: Any):
+        self._pool = pool
+
+    @property
+    def spawn_timeout_s(self) -> float:
+        return self._pool.policy.spawn_timeout_s
+
+    def ready_homes(self) -> list[tuple[int, int]]:
+        return self._pool.ready_homes()
+
+    async def open(
+        self,
+        home: tuple[int, int],
+        track_id: str,
+        substrate: str,
+        init: TrackInit,
+        seed: int,
+    ) -> dict:
+        index, generation = home
+        [outcome] = await self._pool.execute_track(
+            index, generation, "open", (track_id, substrate, init, int(seed))
+        )
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    async def steps(
+        self, home: tuple[int, int], items: Sequence[tuple]
+    ) -> list[Any]:
+        index, generation = home
+        return await self._pool.execute_track(
+            index, generation, "steps", list(items), n_items=len(items)
+        )
+
+    async def close(self, home: tuple[int, int], track_id: str) -> dict:
+        index, generation = home
+        [outcome] = await self._pool.execute_track(
+            index, generation, "close", track_id
+        )
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def describe(self) -> dict:
+        return {"mode": "sharded", "shards": self._pool.policy.workers}
+
+    def shutdown(self) -> None:
+        pass  # the pool's lifecycle belongs to the service
+
+
+class _HomeStepBackend:
+    """Adapter giving one home's step path the Batcher execute interface.
+
+    The Batcher hands it ``(track_id, control, depth, truth)`` wire
+    items assembled from concurrent :class:`TrackStepRequest`\\ s; dict
+    payloads come back wrapped as :class:`TrackStepResponse` (manager
+    fills in step index and recovery flags after the future resolves).
+    """
+
+    def __init__(self, backend: Any, home: tuple[int, int]):
+        self._backend = backend
+        self._home = home
+
+    async def execute(self, key: Any, items: Sequence[tuple]) -> list[Any]:
+        outcomes = await self._backend.steps(self._home, items)
+        wrapped: list[Any] = []
+        for item, outcome in zip(items, outcomes):
+            if isinstance(outcome, Exception):
+                wrapped.append(outcome)
+            else:
+                wrapped.append(
+                    TrackStepResponse(
+                        track_id=item[0],
+                        step_index=0,  # filled by the manager on ack
+                        estimate=outcome["estimate"],
+                        ess=outcome["ess"],
+                        resampled=outcome["resampled"],
+                        log_evidence=outcome["log_evidence"],
+                        spread=outcome["spread"],
+                        energy_j=outcome["energy_j"],
+                        ops_executed=outcome["ops_executed"],
+                        energy_breakdown_j=outcome["energy_breakdown_j"],
+                        step_energy_j=outcome["step_energy_j"],
+                        step_ops=outcome["step_ops"],
+                        substrate=outcome["substrate"],
+                        error_m=outcome["error_m"],
+                        batch_size=len(items),
+                    )
+                )
+        return wrapped
+
+
+@dataclass
+class TrackStats:
+    """Manager-level lifecycle counters exposed via ``/stats``."""
+
+    opened: int = 0
+    rejected: int = 0
+    closed: int = 0
+    expired: int = 0
+    steps: int = 0
+    recovered_replay: int = 0
+    recovered_reinit: int = 0
+    replay_dropped: int = 0
+
+
+class _LiveTrack:
+    """Manager-side record of one live track (placement + replay log)."""
+
+    __slots__ = (
+        "track_id",
+        "substrate",
+        "init",
+        "seed",
+        "home",
+        "lock",
+        "step_index",
+        "log",
+        "log_bytes",
+        "replayable",
+        "last_used",
+        "state_lost_pending",
+        "replayed_pending",
+    )
+
+    def __init__(
+        self,
+        track_id: str,
+        substrate: str,
+        init: TrackInit,
+        seed: int,
+        home: tuple[int, int],
+        replayable: bool,
+    ):
+        self.track_id = track_id
+        self.substrate = substrate
+        self.init = init
+        self.seed = seed
+        self.home = home
+        self.lock = asyncio.Lock()
+        self.step_index = 0
+        self.log: list[tuple] = []
+        self.log_bytes = 0
+        self.replayable = replayable
+        self.last_used = time.monotonic()
+        self.state_lost_pending = False
+        self.replayed_pending = 0
+
+
+class TrackManager:
+    """Lifecycle, placement, eviction and recovery for live tracks.
+
+    Must be driven from a single event loop (the service's).  Steps of
+    one track are serialized by its per-track lock -- the determinism
+    contract requires in-order execution -- while steps of *different*
+    tracks homed on the same shard coalesce into micro-batches through
+    one :class:`~repro.serve.service.Batcher` per home.
+    """
+
+    def __init__(
+        self,
+        backend: LocalTrackBackend | ShardedTrackBackend,
+        policy: TrackPolicy | None = None,
+        batch: BatchPolicy | None = None,
+        substrates: Sequence[str] | None = None,
+    ):
+        from repro.serve.service import ServiceStats
+
+        self._backend = backend
+        self.policy = policy or TrackPolicy()
+        self.batch_policy = batch or BatchPolicy()
+        self._substrates = (
+            None
+            if substrates is None
+            else {get_substrate(name).name for name in substrates}
+        )
+        self._tracks: dict[str, _LiveTrack] = {}
+        self._tombstones: OrderedDict[str, str] = OrderedDict()
+        self._batchers: dict[tuple[int, int], Any] = {}
+        self._sweeper: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.track_stats = TrackStats()
+        # Step-batching counters live in a private ServiceStats so the
+        # shared Batcher can account them without touching /infer's.
+        self.step_stats = ServiceStats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        if self._sweeper is None:
+            self._sweeper = self._loop.create_task(self._sweep_loop())
+
+    async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        for batcher in self._batchers.values():
+            await batcher.close()
+        self._batchers.clear()
+        self._tracks.clear()
+        self._backend.shutdown()
+
+    # -- placement ---------------------------------------------------------
+
+    async def _pick_home(self) -> tuple[int, int]:
+        """The ready home with the fewest live tracks; waits out shard
+        warm-up/respawn up to the backend's spawn deadline."""
+        assert self._loop is not None
+        deadline = self._loop.time() + self._backend.spawn_timeout_s
+        while True:
+            homes = self._backend.ready_homes()
+            if homes:
+                counts = Counter(
+                    record.home for record in self._tracks.values()
+                )
+                return min(homes, key=lambda h: (counts.get(h, 0), h))
+            if self._loop.time() >= deadline:
+                raise WorkerCrashed(
+                    -1,
+                    0,
+                    message=(
+                        "no live worker shard available for track "
+                        "placement; retry"
+                    ),
+                )
+            await asyncio.sleep(0.05)
+
+    def _batcher(self, home: tuple[int, int]) -> Any:
+        batcher = self._batchers.get(home)
+        if batcher is None:
+            from repro.serve.service import Batcher
+
+            batcher = Batcher(
+                ("steps", f"{home[0]}:{home[1]}"),
+                self.batch_policy,
+                _HomeStepBackend(self._backend, home),
+                self.step_stats,
+            )
+            batcher.start()
+            self._batchers[home] = batcher
+        return batcher
+
+    # -- lookup ------------------------------------------------------------
+
+    def _lookup(self, track_id: str) -> _LiveTrack:
+        record = self._tracks.get(track_id)
+        if record is not None:
+            return record
+        reason = self._tombstones.get(track_id)
+        if reason == "expired":
+            raise TrackError(
+                "expired",
+                f"track {track_id!r} expired after idling past the "
+                f"{self.policy.idle_ttl_s:.0f}s TTL; open a new track",
+            )
+        if reason == "closed":
+            raise TrackError("closed", f"track {track_id!r} is closed")
+        raise TrackError("unknown", f"unknown track {track_id!r}")
+
+    def _tombstone(self, track_id: str, reason: str) -> None:
+        self._tombstones[track_id] = reason
+        self._tombstones.move_to_end(track_id)
+        while len(self._tombstones) > _TOMBSTONE_LIMIT:
+            self._tombstones.popitem(last=False)
+
+    # -- open / step / close ----------------------------------------------
+
+    async def open(self, request: TrackOpenRequest) -> dict:
+        """Admit and place one track; 503 beyond ``max_tracks``."""
+        resolved = get_substrate(request.substrate).name
+        if self._substrates is not None and resolved not in self._substrates:
+            raise KeyError(
+                f"no track prototype for substrate {resolved!r}; "
+                f"serving tracks on {sorted(self._substrates)}"
+            )
+        if len(self._tracks) >= self.policy.max_tracks:
+            self.track_stats.rejected += 1
+            raise ServiceOverloaded(
+                len(self._tracks), self.policy.max_tracks
+            )
+        track_id = request.track_id or f"track-{uuid.uuid4().hex[:12]}"
+        if track_id in self._tracks:
+            raise ValueError(f"track {track_id!r} is already open")
+        home = await self._pick_home()
+        record = _LiveTrack(
+            track_id,
+            request.substrate,
+            request.init,
+            request.seed,
+            home,
+            replayable=self.policy.replay_log_steps > 0,
+        )
+        # Reserve the id (and hold the track lock) across the backend
+        # call so a concurrent same-id open or step cannot interleave.
+        self._tracks[track_id] = record
+        async with record.lock:
+            try:
+                result = await self._backend.open(
+                    home, track_id, request.substrate, request.init,
+                    request.seed,
+                )
+            except BaseException:
+                self._tracks.pop(track_id, None)
+                raise
+        record.substrate = result["substrate"]
+        self._tombstones.pop(track_id, None)
+        self.track_stats.opened += 1
+        return {
+            **result,
+            "seed": request.seed,
+            "home_shard": None if home == LOCAL_HOME else home[0],
+            "replay": record.replayable,
+        }
+
+    async def step(self, request: TrackStepRequest) -> TrackStepResponse:
+        """Serve one measurement; recovers the track first when its home
+        shard died (replay the log, or re-init with ``state_lost``)."""
+        record = self._lookup(request.track_id)
+        async with record.lock:
+            if self._tracks.get(request.track_id) is not record:
+                self._lookup(request.track_id)  # evicted while waiting
+            record.last_used = time.monotonic()
+            recoveries = 0
+            while True:
+                if record.home not in self._backend.ready_homes():
+                    await self._recover(record)
+                try:
+                    response = await self._submit_step(record, request)
+                    break
+                except WorkerCrashed:
+                    # The home died mid-step.  The step was never acked
+                    # (so it is not in the replay log): recover and
+                    # re-execute it -- deterministic either way.
+                    recoveries += 1
+                    if recoveries > 3:
+                        raise
+            record.step_index += 1
+            record.last_used = time.monotonic()
+            response.step_index = record.step_index
+            response.state_lost = record.state_lost_pending
+            response.replayed_steps = record.replayed_pending
+            record.state_lost_pending = False
+            record.replayed_pending = 0
+            self._log_step(record, request)
+            self.track_stats.steps += 1
+            return response
+
+    async def _submit_step(
+        self, record: _LiveTrack, request: TrackStepRequest
+    ) -> TrackStepResponse:
+        from repro.serve.service import _Pending
+
+        assert self._loop is not None
+        pending = _Pending(
+            request=request,
+            future=self._loop.create_future(),
+            admitted_at=self._loop.time(),
+        )
+        self._batcher(record.home).put(pending)
+        return await pending.future
+
+    async def _recover(self, record: _LiveTrack) -> None:
+        """Re-home a track whose shard died: replay the buffered
+        measurement log, or re-initialize and flag ``state_lost``."""
+        home = await self._pick_home()
+        await self._backend.open(
+            home, record.track_id, record.substrate, record.init, record.seed
+        )
+        if record.replayable:
+            if record.log:
+                outcomes = await self._backend.steps(home, list(record.log))
+                for outcome in outcomes:
+                    if isinstance(outcome, Exception):
+                        raise outcome
+            record.home = home
+            record.replayed_pending = len(record.log)
+            self.track_stats.recovered_replay += 1
+        else:
+            # The log was dropped (or disabled): the filter restarts
+            # from the track's init, and the response says so.
+            record.home = home
+            record.step_index = 0
+            record.log = []
+            record.log_bytes = 0
+            record.replayable = self.policy.replay_log_steps > 0
+            record.state_lost_pending = True
+            record.replayed_pending = 0
+            self.track_stats.recovered_reinit += 1
+
+    def _log_step(self, record: _LiveTrack, request: TrackStepRequest) -> None:
+        """Buffer an *acked* step for crash replay, within the policy's
+        step and byte bounds; outgrowing them sheds the log (the track
+        stays live but falls back to ``state_lost`` recovery)."""
+        if not record.replayable:
+            return
+        entry_bytes = (
+            request.control.nbytes
+            + request.depth.nbytes
+            + (0 if request.truth is None else request.truth.nbytes)
+            + _LOG_ENTRY_OVERHEAD
+        )
+        record.log.append(request.wire_item())
+        record.log_bytes += entry_bytes
+        if (
+            len(record.log) > self.policy.replay_log_steps
+            or record.log_bytes > self.policy.max_track_bytes
+        ):
+            record.log = []
+            record.log_bytes = 0
+            record.replayable = False
+            self.track_stats.replay_dropped += 1
+
+    async def close(self, track_id: str) -> dict:
+        record = self._lookup(track_id)
+        async with record.lock:
+            if self._tracks.get(track_id) is not record:
+                self._lookup(track_id)
+            if record.home in self._backend.ready_homes():
+                try:
+                    await self._backend.close(record.home, track_id)
+                except (TrackError, ServiceOverloaded):
+                    pass  # the shard-side state is gone either way
+            self._tracks.pop(track_id, None)
+            self._tombstone(track_id, "closed")
+            self.track_stats.closed += 1
+            return {
+                "track_id": track_id,
+                "substrate": record.substrate,
+                "steps": record.step_index,
+                "closed": True,
+            }
+
+    # -- eviction ----------------------------------------------------------
+
+    async def _sweep_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.policy.sweep_interval_s)
+            await self.sweep_idle()
+
+    async def sweep_idle(self) -> int:
+        """Evict tracks idle past the TTL; returns the eviction count."""
+        now = time.monotonic()
+        expired = [
+            track_id
+            for track_id, record in self._tracks.items()
+            if now - record.last_used > self.policy.idle_ttl_s
+        ]
+        evicted = 0
+        for track_id in expired:
+            record = self._tracks.get(track_id)
+            if record is None:
+                continue
+            async with record.lock:
+                if self._tracks.get(track_id) is not record:
+                    continue
+                if (
+                    time.monotonic() - record.last_used
+                    <= self.policy.idle_ttl_s
+                ):
+                    continue  # a step slipped in while we waited
+                self._tracks.pop(track_id, None)
+                self._tombstone(track_id, "expired")
+                self.track_stats.expired += 1
+                evicted += 1
+                if record.home in self._backend.ready_homes():
+                    try:
+                        await self._backend.close(record.home, track_id)
+                    except (TrackError, ServiceOverloaded,
+                            RequestExecutionError):
+                        pass
+        return evicted
+
+    # -- introspection -----------------------------------------------------
+
+    def live_count(self) -> int:
+        return len(self._tracks)
+
+    def describe(self) -> dict:
+        return {
+            "max_tracks": self.policy.max_tracks,
+            "idle_ttl_s": self.policy.idle_ttl_s,
+            "replay_log_steps": self.policy.replay_log_steps,
+            "max_track_bytes": self.policy.max_track_bytes,
+            "backend": self._backend.describe(),
+        }
+
+    def stats_snapshot(self) -> dict:
+        stats = self.track_stats
+        return {
+            "live": len(self._tracks),
+            "opened": stats.opened,
+            "closed": stats.closed,
+            "expired": stats.expired,
+            "rejected": stats.rejected,
+            "steps": stats.steps,
+            "recovered_replay": stats.recovered_replay,
+            "recovered_reinit": stats.recovered_reinit,
+            "replay_dropped": stats.replay_dropped,
+            "step_batches": self.step_stats.batches,
+            "mean_step_batch": self.step_stats.mean_batch_size(),
+            "max_step_batch": self.step_stats.max_batch_observed,
+            "log_bytes": sum(
+                record.log_bytes for record in self._tracks.values()
+            ),
+        }
+
+
+class TrackHandle:
+    """Caller-side handle for one open track (``Service.open_track``)."""
+
+    def __init__(self, manager: TrackManager, track_id: str, substrate: str):
+        self._manager = manager
+        self.track_id = track_id
+        self.substrate = substrate
+
+    async def step(
+        self,
+        control: np.ndarray,
+        depth: np.ndarray,
+        truth: np.ndarray | None = None,
+    ) -> TrackStepResponse:
+        return await self._manager.step(
+            TrackStepRequest(
+                track_id=self.track_id,
+                control=control,
+                depth=depth,
+                truth=truth,
+            )
+        )
+
+    async def close(self) -> dict:
+        return await self._manager.close(self.track_id)
+
+
+__all__ = [
+    "LOCAL_HOME",
+    "LocalTrackBackend",
+    "ShardedTrackBackend",
+    "TrackHandle",
+    "TrackManager",
+    "TrackStats",
+    "TrackStore",
+    "TrackWorld",
+    "decode_track_outcomes",
+    "reference_track_run",
+]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -95,6 +96,22 @@ class WorkerCrashed(ServiceOverloaded):
         self.max_pending = 0
 
 
+class TrackError(RuntimeError):
+    """A track operation referenced a track that cannot serve it.
+
+    ``kind`` is machine-readable: ``"unknown"`` (never opened, or
+    tombstone aged out), ``"expired"`` (evicted by the idle-TTL sweep),
+    ``"closed"`` (explicitly closed by the client), or ``"disabled"``
+    (the service was built without a track world).  Transports map kinds
+    onto statuses (404 unknown/disabled, 410 expired/closed); none of
+    them is retryable.
+    """
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
 @dataclass(frozen=True)
 class InferenceRequest:
     """One stateless MC-Dropout inference request.
@@ -118,6 +135,11 @@ class InferenceRequest:
         array = np.atleast_2d(np.asarray(self.inputs, dtype=float))
         object.__setattr__(self, "inputs", array)
         object.__setattr__(self, "seed", int(self.seed))
+
+    def wire_item(self) -> tuple:
+        """The plain picklable tuple this request contributes to a
+        micro-batch (see :data:`repro.serve.execution.RequestItem`)."""
+        return (self.inputs, self.seed, self.request_id)
 
     def to_dict(self) -> dict:
         return to_jsonable(dataclasses.asdict(self))
@@ -223,11 +245,295 @@ class InferenceResponse:
         return cls.from_dict(strict_loads(text))
 
 
+@dataclass(frozen=True)
+class TrackInit:
+    """How a track's particle filter is initialized on open (and again
+    on crash recovery, whether replaying or re-initializing).
+
+    ``mode="tracking"`` needs a prior ``state`` (4,) and ``sigma`` (4,);
+    ``mode="global"`` spreads particles over the map (``z_range``
+    optional).  The init crosses the wire and the shard pipe, so it only
+    holds plain arrays.
+    """
+
+    mode: str = "tracking"
+    state: np.ndarray | None = None
+    sigma: np.ndarray | None = None
+    z_range: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("tracking", "global"):
+            raise ValueError(
+                f"init mode must be 'tracking' or 'global', got {self.mode!r}"
+            )
+        if self.mode == "tracking":
+            if self.state is None or self.sigma is None:
+                raise ValueError(
+                    "init mode 'tracking' needs 'state' and 'sigma'"
+                )
+            object.__setattr__(
+                self, "state", np.asarray(self.state, dtype=float).reshape(-1)
+            )
+            object.__setattr__(
+                self, "sigma", np.asarray(self.sigma, dtype=float).reshape(-1)
+            )
+        if self.z_range is not None:
+            low, high = self.z_range
+            object.__setattr__(self, "z_range", (float(low), float(high)))
+
+    def apply(self, session: Any, rng: np.random.Generator) -> None:
+        """Initialize ``session`` (a LocalizationSession) with ``rng``."""
+        if self.mode == "tracking":
+            session.initialize_tracking(self.state, self.sigma, rng)
+        else:
+            session.initialize_global(rng, z_range=self.z_range)
+
+    def to_dict(self) -> dict:
+        return to_jsonable(
+            {
+                "mode": self.mode,
+                "state": self.state,
+                "sigma": self.sigma,
+                "z_range": (
+                    None if self.z_range is None else list(self.z_range)
+                ),
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackInit":
+        data = from_jsonable(dict(payload))
+        unknown = set(data) - {"mode", "state", "sigma", "z_range"}
+        if unknown:
+            raise ValueError(
+                f"unknown init field(s) {sorted(unknown)}; expected "
+                "mode/state/sigma/z_range"
+            )
+        z_range = data.get("z_range")
+        return cls(
+            mode=str(data.get("mode", "tracking")),
+            state=data.get("state"),
+            sigma=data.get("sigma"),
+            z_range=None if z_range is None else tuple(z_range),
+        )
+
+
+@dataclass(frozen=True)
+class TrackOpenRequest:
+    """``POST /track/open``: start one live localization stream.
+
+    Attributes:
+        substrate: registered substrate name the track runs on.
+        init: filter initialization (see :class:`TrackInit`).
+        seed: the track's determinism seed -- one generator seeded with
+            it drives the init and every subsequent step, exactly as a
+            one-shot ``LocalizationSession.run()`` with the same
+            generator would (the stream determinism contract).
+        track_id: optional caller-chosen id; autogenerated when omitted.
+    """
+
+    init: TrackInit
+    substrate: str = "cim"
+    seed: int = 0
+    track_id: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def to_dict(self) -> dict:
+        return {
+            "substrate": self.substrate,
+            "init": self.init.to_dict(),
+            "seed": self.seed,
+            "track_id": self.track_id,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return strict_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackOpenRequest":
+        data = dict(payload)
+        unknown = set(data) - {"substrate", "init", "seed", "track_id"}
+        if unknown:
+            raise ValueError(
+                f"unknown track-open field(s) {sorted(unknown)}; expected "
+                "substrate/init/seed/track_id"
+            )
+        if "init" not in data:
+            raise ValueError("track-open payload is missing 'init'")
+        return cls(
+            init=TrackInit.from_dict(data["init"]),
+            substrate=str(data.get("substrate", "cim")),
+            seed=int(data.get("seed", 0)),
+            track_id=(
+                None if data.get("track_id") is None else str(data["track_id"])
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrackOpenRequest":
+        return cls.from_dict(strict_loads(text))
+
+
+@dataclass(frozen=True)
+class TrackStepRequest:
+    """``POST /track/step``: one measurement for one live track.
+
+    Attributes:
+        track_id: the open track this measurement belongs to.
+        control: (4,) body-frame odometry increment.
+        depth: the depth frame for this step.
+        truth: optional (4,) ground-truth state; when given, the
+            response reports the position error for this step.
+    """
+
+    track_id: str
+    control: np.ndarray
+    depth: np.ndarray
+    truth: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "control", np.asarray(self.control, dtype=float).reshape(-1)
+        )
+        object.__setattr__(
+            self, "depth", np.asarray(self.depth, dtype=float)
+        )
+        if self.truth is not None:
+            object.__setattr__(
+                self, "truth", np.asarray(self.truth, dtype=float).reshape(-1)
+            )
+
+    def wire_item(self) -> tuple:
+        """The picklable per-step tuple batched across tracks:
+        ``(track_id, control, depth, truth)``."""
+        return (self.track_id, self.control, self.depth, self.truth)
+
+    def to_dict(self) -> dict:
+        return to_jsonable(
+            {
+                "track_id": self.track_id,
+                "control": self.control,
+                "depth": self.depth,
+                "truth": self.truth,
+            }
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return strict_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackStepRequest":
+        data = from_jsonable(dict(payload))
+        unknown = set(data) - {"track_id", "control", "depth", "truth"}
+        if unknown:
+            raise ValueError(
+                f"unknown track-step field(s) {sorted(unknown)}; expected "
+                "track_id/control/depth/truth"
+            )
+        for required in ("track_id", "control", "depth"):
+            if data.get(required) is None:
+                raise ValueError(
+                    f"track-step payload is missing {required!r}"
+                )
+        return cls(
+            track_id=str(data["track_id"]),
+            control=data["control"],
+            depth=data["depth"],
+            truth=data.get("truth"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrackStepRequest":
+        return cls.from_dict(strict_loads(text))
+
+
+@dataclass
+class TrackStepResponse:
+    """The service's answer to one :class:`TrackStepRequest`.
+
+    ``estimate`` and the *cumulative* metering fields (``energy_j`` /
+    ``ops_executed`` / ``energy_breakdown_j``, scoped from track open)
+    are the stream determinism contract: after N acked steps they are
+    bit-for-bit what a one-shot ``LocalizationSession.run()`` over the
+    same N measurements reports on an identically built session.
+    ``step_energy_j`` / ``step_ops`` meter this step alone.
+
+    ``state_lost`` is True on the first response after a crash recovery
+    that could not replay (the filter restarted from the track's init;
+    metering restarted with it).  ``replayed_steps`` counts the buffered
+    measurements re-executed by a successful replay recovery.
+    """
+
+    track_id: str
+    step_index: int
+    estimate: np.ndarray
+    ess: float
+    resampled: bool
+    log_evidence: float
+    spread: float
+    energy_j: float
+    ops_executed: int
+    energy_breakdown_j: dict[str, float]
+    step_energy_j: float
+    step_ops: int
+    substrate: str
+    error_m: float | None = None
+    state_lost: bool = False
+    replayed_steps: int = 0
+    batch_size: int = 1
+    queue_s: float = 0.0
+    total_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return to_jsonable(dataclasses.asdict(self))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return strict_dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrackStepResponse":
+        data = from_jsonable(dict(payload))
+        return cls(
+            track_id=str(data["track_id"]),
+            step_index=int(data["step_index"]),
+            estimate=np.asarray(data["estimate"], dtype=float),
+            ess=float(data["ess"]),
+            resampled=bool(data["resampled"]),
+            log_evidence=float(data["log_evidence"]),
+            spread=float(data["spread"]),
+            energy_j=float(data["energy_j"]),
+            ops_executed=int(data["ops_executed"]),
+            energy_breakdown_j=dict(data["energy_breakdown_j"]),
+            step_energy_j=float(data["step_energy_j"]),
+            step_ops=int(data["step_ops"]),
+            substrate=str(data["substrate"]),
+            error_m=(
+                None if data.get("error_m") is None else float(data["error_m"])
+            ),
+            state_lost=bool(data.get("state_lost", False)),
+            replayed_steps=int(data.get("replayed_steps", 0)),
+            batch_size=int(data.get("batch_size", 1)),
+            queue_s=float(data.get("queue_s", 0.0)),
+            total_s=float(data.get("total_s", 0.0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TrackStepResponse":
+        return cls.from_dict(strict_loads(text))
+
+
 __all__ = [
     "DEFAULT_MODEL",
     "InferenceRequest",
     "InferenceResponse",
     "RequestExecutionError",
     "ServiceOverloaded",
+    "TrackError",
+    "TrackInit",
+    "TrackOpenRequest",
+    "TrackStepRequest",
+    "TrackStepResponse",
     "WorkerCrashed",
 ]

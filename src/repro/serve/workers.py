@@ -55,6 +55,7 @@ from repro.serve.pool import SessionPool
 from repro.serve.types import (
     InferenceResponse,
     RequestExecutionError,
+    TrackError,
     WorkerCrashed,
 )
 
@@ -84,6 +85,11 @@ class WorkerSpec:
     n_iterations: int = 30
     calibration_inputs: np.ndarray | None = None
     session_seed: int = 0
+    # Streaming tracks (repro.serve.tracks): when a world is given, the
+    # shard also warms one TrackStore over these substrates before
+    # reporting ready, so sticky-routed track state can live shard-side.
+    track_world: Any = None
+    track_substrates: tuple[str, ...] | None = None
 
     def keys(self) -> list[PairKey]:
         return [
@@ -97,11 +103,13 @@ def _worker_main(spec: WorkerSpec, conn: Any) -> None:
     """Shard process entry point: warm the pools, serve batches forever.
 
     Protocol (parent -> shard): ``("batch", job_id, key, items)``,
+    ``("track", job_id, op, payload)`` with op open/steps/close,
     ``("stop",)``, ``("exit", code)`` (chaos/test hook: die instantly).
     Shard -> parent: ``("ready", pid)`` once warmed, then one
     ``("result", job_id, encoded_outcomes)`` per batch.  Outcomes are
-    encoded as ``("ok", InferenceResponse)`` / ``("error", message)``
-    pairs so nothing unpicklable ever crosses the pipe.
+    encoded as ``("ok", payload)`` / ``("track_error", (kind, message))``
+    / ``("error", message)`` tuples so nothing unpicklable ever crosses
+    the pipe.
     """
     # The shard's message loop is strictly serial (one batch at a time),
     # so a pool width above 1 would only warm clones that can never run;
@@ -117,6 +125,14 @@ def _worker_main(spec: WorkerSpec, conn: Any) -> None:
         )
         for key in spec.keys()
     }
+    track_store = None
+    if spec.track_world is not None:
+        from repro.serve.tracks import TrackStore
+
+        track_store = TrackStore(
+            spec.track_world,
+            spec.track_substrates or spec.substrates,
+        )
     conn.send(("ready", os.getpid()))
     while True:
         try:
@@ -129,6 +145,15 @@ def _worker_main(spec: WorkerSpec, conn: Any) -> None:
         if kind == "exit":  # chaos/test hook: die without cleanup
             conn.close()
             os._exit(int(message[1]))
+        if kind == "track":
+            _, job_id, op, payload = message
+            try:
+                conn.send(
+                    ("result", job_id, _run_track_op(track_store, op, payload))
+                )
+            except (OSError, ValueError, BrokenPipeError):
+                break
+            continue
         if kind != "batch":
             continue
         _, job_id, key, items = message
@@ -156,6 +181,33 @@ def _worker_main(spec: WorkerSpec, conn: Any) -> None:
     conn.close()
 
 
+def _run_track_op(track_store: Any, op: str, payload: Any) -> list:
+    """Execute one shard-side track operation, wire-encoded.
+
+    The encoding matches the batch path -- a list of ``("ok", payload)``
+    / ``("track_error", (kind, message))`` / ``("error", message)``
+    tuples -- so the parent's result plumbing needs no new message kind.
+    ``steps`` payloads are per-item lists; ``open``/``close`` encode one
+    outcome.
+    """
+    n_outcomes = len(payload) if op == "steps" else 1
+    try:
+        if track_store is None:
+            raise RuntimeError("track serving is not enabled on this shard")
+        if op == "open":
+            track_id, substrate, init, seed = payload
+            return [("ok", track_store.open(track_id, substrate, init, seed))]
+        if op == "steps":
+            return track_store.step_batch(payload)
+        if op == "close":
+            return [("ok", track_store.close(payload))]
+        raise RuntimeError(f"unknown track op {op!r}")
+    except TrackError as error:
+        return [("track_error", (error.kind, str(error)))] * n_outcomes
+    except Exception as error:
+        return [("error", f"{type(error).__name__}: {error}")] * n_outcomes
+
+
 @dataclass
 class _Inflight:
     """One dispatched micro-batch awaiting its shard's result."""
@@ -169,8 +221,12 @@ class _Inflight:
 class WorkerHandle:
     """Parent-side view of one shard: process, pipe, live counters."""
 
-    def __init__(self, index: int, process: Any, conn: Any):
+    def __init__(self, index: int, process: Any, conn: Any, generation: int = 0):
         self.index = index
+        # Spawn-unique id: a respawned shard gets a new generation, so
+        # state pinned to the dead one (live tracks) can never be
+        # silently served by its fresh-state replacement.
+        self.generation = generation
         self.process = process
         self.conn = conn
         self.ready = False
@@ -199,6 +255,7 @@ class WorkerHandle:
         )
         return {
             "index": self.index,
+            "generation": self.generation,
             "pid": self.process.pid,
             "alive": bool(self.process.is_alive()),
             "ready": self.ready,
@@ -243,6 +300,7 @@ class WorkerPool:
         self._handles: list[WorkerHandle] = []
         self._lock = threading.Lock()
         self._job_ids = itertools.count()
+        self._generations = itertools.count()
         self._stopping = False
         self._started = False
         self._startup_failures = 0  # consecutive never-ready shard deaths
@@ -275,7 +333,9 @@ class WorkerPool:
         )
         process.start()
         child_conn.close()  # parent keeps one end; EOF now propagates
-        handle = WorkerHandle(index, process, parent_conn)
+        handle = WorkerHandle(
+            index, process, parent_conn, generation=next(self._generations)
+        )
         threading.Thread(
             target=self._reader,
             args=(handle,),
@@ -389,6 +449,75 @@ class WorkerPool:
             raise WorkerCrashed(handle.index, len(items)) from error
         return await future
 
+    async def execute_track(
+        self,
+        index: int,
+        generation: int,
+        op: str,
+        payload: Any,
+        n_items: int = 1,
+    ) -> list[Any]:
+        """Run one track op on a *specific* shard generation (sticky
+        routing: a track's filter state lives on exactly one shard).
+
+        Returns the decoded outcome list (payload dicts / typed
+        exceptions, one per item).  Raises :class:`WorkerCrashed` when
+        that generation is gone -- dead, respawned, or never ready --
+        so the caller (the track manager) can recover explicitly
+        instead of silently hitting a fresh-state replacement.
+        """
+        if not self._started:
+            raise RuntimeError("worker pool is not started")
+        with self._lock:
+            handle = (
+                self._handles[index]
+                if 0 <= index < len(self._handles)
+                else None
+            )
+            if (
+                handle is None
+                or handle.generation != generation
+                or not (handle.alive and handle.ready)
+            ):
+                raise WorkerCrashed(index, n_items)
+            loop = asyncio.get_running_loop()
+            future: asyncio.Future = loop.create_future()
+            job_id = next(self._job_ids)
+            handle.inflight[job_id] = _Inflight(
+                loop=loop,
+                future=future,
+                n_requests=n_items,
+                sent_at=time.monotonic(),
+            )
+            handle.dispatched_batches += 1
+            handle.last_dispatch_at = time.monotonic()
+        try:
+            handle.conn.send(("track", job_id, op, payload))
+        except (OSError, ValueError, BrokenPipeError) as error:
+            with self._lock:
+                handle.inflight.pop(job_id, None)
+            raise WorkerCrashed(handle.index, n_items) from error
+        return await future
+
+    def ready_homes(self) -> list[tuple[int, int]]:
+        """Live placement targets as (shard index, generation) pairs."""
+        with self._lock:
+            return [
+                (handle.index, handle.generation)
+                for handle in self._handles
+                if handle.alive and handle.ready
+            ]
+
+    def respawning_shards(self) -> list[int]:
+        """Shard indices currently dead or warming a replacement (the
+        /healthz ``degraded`` signal)."""
+        with self._lock:
+            return sorted(
+                handle.index
+                for handle in self._handles
+                if not (handle.alive and handle.ready)
+            )
+
     async def _pick(self, substrate: str) -> WorkerHandle:
         """Least-loaded live shard, affinity-tie-broken; waits for warm-up."""
         deadline = time.monotonic() + self.policy.spawn_timeout_s
@@ -455,6 +584,8 @@ class WorkerPool:
         outcomes: list[Outcome] = [
             payload
             if tag == "ok"
+            else TrackError(payload[0], str(payload[1]))
+            if tag == "track_error"
             else RequestExecutionError(str(payload))
             for tag, payload in encoded
         ]
