@@ -9,6 +9,12 @@ Subcommands::
                              [--set key=value ...] [--workers N]
                              [--store DIR] [--json] [--out DIR]
     python -m repro report STORE [--json]
+    python -m repro scenarios list [--tag TAG] [--json]
+    python -m repro scenarios run NAME [NAME ...|all]
+                          [--substrates digital,cim] [--seeds 0,1]
+                          [--set path.to.field=value ...] [--tiny]
+                          [--workers N] [--store DIR] [--json]
+    python -m repro scenarios report STORE [--json]
     python -m repro bench [--suite core|serve|all] [--ids E1 E5 ...]
                           [--repeats N] [--out PATH]
                           [--check] [--tolerance FRAC]
@@ -25,7 +31,10 @@ it through the batch runtime -- ``--workers N`` fans the jobs out over a
 process pool (results identical to serial), ``--store DIR`` streams a
 structured run directory (``manifest.json`` + ``results.jsonl``), and a
 failing cell records an error row instead of aborting the grid.
-``report`` summarises a stored run; ``bench`` times the quick experiment
+``report`` summarises a stored run; ``scenarios`` lists, sweeps and
+summarises the named scenario library (:mod:`repro.scenarios`) on the
+same batch runtime, with dotted ``--set`` spec overrides and friendly
+exit-2 errors for unknown names/paths; ``bench`` times the quick experiment
 configs plus the batched-session path (``BENCH_runtime.json``) and the
 CIM engine's loop-vs-sample-major fast path plus the macro's fused
 ``matvec_many`` (``BENCH_engine.json``), exiting non-zero if the fast
@@ -261,6 +270,143 @@ def _cmd_report(args: argparse.Namespace) -> int:
         else:
             last_line = record.error.strip().splitlines()[-1]
             print(f"  FAILED {record.job.job_id}  {last_line}")
+    return 0
+
+
+def _scenario_summary_table(rows: list[dict]) -> list[str]:
+    """Fixed-width per-scenario x substrate summary lines."""
+    from repro.scenarios import summarize_rows
+
+    lines = [
+        f"  {'scenario':28} {'substrate':13} {'runs':>4} {'final_m':>8} "
+        f"{'mean_m':>8} {'steady_m':>9} {'conv':>4} {'energy_j':>10} "
+        f"{'ops':>12}"
+    ]
+    for line in summarize_rows(rows):
+        lines.append(
+            f"  {line['scenario']:28} {line['substrate']:13} "
+            f"{line['runs']:>4d} {line['final_error_m']:>8.3f} "
+            f"{line['mean_error_m']:>8.3f} "
+            f"{line['steady_state_error_m']:>9.3f} "
+            f"{line['converged_runs']:>4d} {line['energy_j']:>10.3e} "
+            f"{line['ops_executed']:>12.0f}"
+        )
+    return lines
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    from repro.scenarios import list_scenarios
+
+    specs = list_scenarios(tag=args.tag)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenarios": [spec.to_jsonable() for spec in specs],
+                    "version": __version__,
+                },
+                indent=2,
+            )
+        )
+        return 0
+    for spec in specs:
+        tags = ",".join(spec.tags)
+        print(f"  {spec.name:28} [{tags}]")
+        print(f"      {spec.description}")
+    print(f"\n{len(specs)} scenario(s)" + (f" tagged {args.tag!r}" if args.tag else ""))
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    from repro.runtime import ParallelExecutor, RunStore
+    from repro.scenarios import compile_scenarios, scenario_names
+
+    names = args.names
+    if names == ["all"]:
+        names = scenario_names()
+    substrates = args.substrates.split(",") if args.substrates else None
+    seeds = _parse_seeds(args.seeds) if args.seeds else None
+    overrides = _parse_overrides(args.set)
+    # Compilation resolves scenario names, applies the dotted --set
+    # overrides and validates every spec up front -- user errors surface
+    # as friendly exit-2 messages before anything runs.
+    plan = compile_scenarios(
+        names,
+        substrates=substrates,
+        seeds=seeds,
+        overrides=overrides,
+        tiny=args.tiny,
+    )
+    store = None
+    if args.store:
+        command = "repro scenarios run " + " ".join(names)
+        if args.substrates:
+            command += f" --substrates {args.substrates}"
+        if args.seeds:
+            command += f" --seeds {args.seeds}"
+        for pair in args.set or []:
+            command += f" --set {pair}"
+        if args.tiny:
+            command += " --tiny"
+        command += f" --workers {args.workers}"
+        store = RunStore.create(args.store, plan=plan, command=command)
+    report = ParallelExecutor(workers=args.workers).execute(plan, store=store)
+    if args.json:
+        print(
+            json.dumps(
+                [record.to_jsonable() for record in report.records], indent=2
+            )
+        )
+        return 0 if report.n_failed == 0 else 1
+    rows = []
+    for record in report.records:
+        if record.ok:
+            rows.append(record.result.metrics)
+        else:
+            last_line = record.error.strip().splitlines()[-1]
+            print(f"FAILED {record.job.job_id}: {last_line}")
+    if rows:
+        print("\n".join(_scenario_summary_table(rows)))
+    summary = report.summary()
+    print(
+        f"\nscenarios: {summary['n_jobs']} run(s), {summary['n_ok']} ok, "
+        f"{summary['n_failed']} failed in {summary['wall_time_s']:.2f}s "
+        f"(workers={summary['workers']})"
+    )
+    if store is not None:
+        print(f"store: {store.path}")
+    return 0 if report.n_failed == 0 else 1
+
+
+def _cmd_scenarios_report(args: argparse.Namespace) -> int:
+    from repro.runtime import RunStore
+    from repro.scenarios import summarize_rows
+
+    store = RunStore.load(args.store)
+    rows = [
+        record.result.metrics
+        for record in store.records()
+        if record.ok and record.job.experiment_id == "SCN"
+    ]
+    if args.json:
+        print(
+            json.dumps(
+                {"summary": store.summary(), "scenarios": summarize_rows(rows)},
+                indent=2,
+            )
+        )
+        return 0
+    summary = store.summary()
+    print(f"run store: {summary['path']}")
+    print(
+        f"  status={summary['status']} planned={summary['n_jobs_planned']} "
+        f"recorded={summary['n_recorded']} ok={summary['n_ok']} "
+        f"failed={summary['n_failed']}"
+    )
+    if not rows:
+        print("  no successful scenario (SCN) runs in this store")
+        return 0
+    print("\n".join(_scenario_summary_table(rows)))
     return 0
 
 
@@ -706,6 +852,166 @@ def _bench_tracking() -> dict:
     }
 
 
+# Reference config for the scenario-mix benchmark (the "scenario_mix"
+# case in BENCH_serve.json): concurrent live tracks drawn from a weighted
+# mix of scenario-library worlds (serving-sized via ScenarioSpec.tiny),
+# one service per distinct world, all driven in one event loop.  This is
+# the realistic-traffic leg of the serve bench: requests span *different*
+# maps, dropout regimes and precisions instead of one demo world.  The
+# baseline is per-scenario one-shot session.run() stepping; the ratio is
+# machine-relative like every other --check metric.
+_SCENARIO_MIX_BENCH = {
+    "substrate": "cim",
+    "mix": (
+        ("room-baseline", 0.5),
+        ("sensor-dropout-burst", 0.3),
+        ("adc-low-precision", 0.2),
+    ),
+    "n_tracks": 96,
+    "steps_per_track": 2,
+    "max_batch": 32,
+    "max_wait_ms": 2.0,
+}
+
+
+def _bench_scenario_mix() -> dict:
+    """Steps/sec across live tracks of a weighted scenario mix."""
+    import asyncio
+
+    import numpy as np
+
+    from repro.runtime import BatchPolicy, TrackPolicy
+    from repro.scenarios import (
+        ScenarioMix,
+        get_scenario,
+        scenario_track_setup,
+        serving_profile,
+    )
+    from repro.serve import InferenceService, reference_track_run
+    from repro.serve.demo import demo_model
+
+    cfg = _SCENARIO_MIX_BENCH
+    steps = cfg["steps_per_track"]
+    mix = ScenarioMix(entries=cfg["mix"])
+    assignment = mix.assign(cfg["n_tracks"], seed=0)
+
+    # One (world, init, measurements, service) per distinct scenario: a
+    # service owns exactly one TrackWorld, so a mixed fleet is a fleet of
+    # services sharing the event loop -- tracks of different worlds are
+    # still concurrent in flight.
+    setups: dict[str, tuple] = {}
+    for name, _ in cfg["mix"]:
+        spec = serving_profile(get_scenario(name), n_steps=steps)
+        setups[name] = scenario_track_setup(spec)
+
+    # Direct baseline: per-scenario one-shot session.run() per-step cost,
+    # weighted by how many tracks of that scenario the mix assigns.
+    per_step_s: dict[str, float] = {}
+    for name, (world, init, measurements) in setups.items():
+        session = world.build_session(cfg["substrate"])
+        laps = []
+        for _ in range(3):
+            rng = np.random.default_rng(0)
+            init.apply(session, rng)
+            start = time.perf_counter()
+            session.run(measurements, rng=rng)
+            laps.append(time.perf_counter() - start)
+        per_step_s[name] = min(laps) / steps
+    direct_total_s = sum(per_step_s[name] * steps for name in assignment)
+    steps_total = len(assignment) * steps
+    direct_steps_per_s = steps_total / direct_total_s
+
+    counts = mix.counts(cfg["n_tracks"])
+    services = {
+        name: InferenceService(
+            demo_model(),
+            substrates=[cfg["substrate"]],
+            batch=BatchPolicy(
+                max_batch=cfg["max_batch"], max_wait_ms=cfg["max_wait_ms"]
+            ),
+            track_world=setups[name][0],
+            tracks=TrackPolicy(max_tracks=counts[name] + 16),
+            track_substrates=[cfg["substrate"]],
+        )
+        for name, _ in cfg["mix"]
+    }
+
+    async def drive():
+        for service in services.values():
+            await service.start()
+        try:
+            handles = await asyncio.gather(
+                *(
+                    services[name].open_track(
+                        substrate=cfg["substrate"],
+                        init=setups[name][1],
+                        seed=i,
+                    )
+                    for i, name in enumerate(assignment)
+                )
+            )
+            responses = [[] for _ in handles]
+            start = time.perf_counter()
+            for k in range(steps):
+                step_responses = await asyncio.gather(
+                    *(
+                        handle.step(
+                            setups[name][2][0][k],
+                            setups[name][2][1][k],
+                            truth=setups[name][2][2][k],
+                        )
+                        for handle, name in zip(handles, assignment)
+                    )
+                )
+                for bucket, response in zip(responses, step_responses):
+                    bucket.append(response)
+            elapsed = time.perf_counter() - start
+            return elapsed, responses
+        finally:
+            for service in services.values():
+                await service.stop()
+
+    elapsed, responses = asyncio.run(drive())
+    steps_per_s = steps_total / elapsed
+
+    # Stream-determinism gate: one sampled track per scenario must equal
+    # its one-shot oracle bit-for-bit (estimates AND energy/ops), just
+    # like the single-world tracking case.
+    parity_exact = True
+    for name in counts:
+        index = assignment.index(name)
+        world, init, measurements = setups[name]
+        reference = reference_track_run(
+            world, cfg["substrate"], init, index, measurements
+        )
+        streamed = responses[index]
+        final = streamed[-1]
+        parity_exact = parity_exact and (
+            np.array_equal(
+                np.array([r.estimate for r in streamed]), reference.mean
+            )
+            and final.energy_j == reference.energy_j
+            and final.ops_executed == reference.ops_executed
+            and final.energy_breakdown_j == reference.energy_breakdown_j
+        )
+    return {
+        "case": "serve-scenario-mix",
+        "substrate": cfg["substrate"],
+        "n_tracks": cfg["n_tracks"],
+        "steps_per_track": steps,
+        "max_batch": cfg["max_batch"],
+        "max_wait_ms": cfg["max_wait_ms"],
+        "mix": {name: weight for name, weight in cfg["mix"]},
+        "counts": counts,
+        "steps_total": steps_total,
+        "elapsed_s": elapsed,
+        "steps_per_s": steps_per_s,
+        "direct_steps_per_s": direct_steps_per_s,
+        "throughput_vs_direct": steps_per_s / direct_steps_per_s,
+        "parity_exact": parity_exact,
+    }
+
+
 def _run_serve_bench(args: argparse.Namespace) -> tuple[int, dict]:
     entry = _bench_serve(args.repeats)
     print(
@@ -726,7 +1032,20 @@ def _run_serve_bench(args: argparse.Namespace) -> tuple[int, dict]:
         f"{tracking['mean_step_batch']:.1f}, parity "
         f"{'exact' if tracking['parity_exact'] else 'BROKEN'})"
     )
-    payload = {"version": __version__, "serve": entry, "tracking": tracking}
+    mix = _bench_scenario_mix()
+    print(
+        f"  {mix['case']}: {mix['n_tracks']} live tracks over "
+        f"{len(mix['mix'])} scenarios, {mix['steps_per_s']:.0f} steps/s "
+        f"(direct {mix['direct_steps_per_s']:.0f} steps/s, "
+        f"{mix['throughput_vs_direct']:.2f}x, parity "
+        f"{'exact' if mix['parity_exact'] else 'BROKEN'})"
+    )
+    payload = {
+        "version": __version__,
+        "serve": entry,
+        "tracking": tracking,
+        "scenario_mix": mix,
+    }
     out = Path(args.serve_out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(payload, indent=2) + "\n")
@@ -735,6 +1054,14 @@ def _run_serve_bench(args: argparse.Namespace) -> tuple[int, dict]:
         print(
             "error: streamed track steps diverged from the one-shot "
             "session.run() oracle (stream-determinism contract broken)",
+            file=sys.stderr,
+        )
+        return 1, payload
+    if not mix["parity_exact"]:
+        print(
+            "error: scenario-mix track streams diverged from their "
+            "one-shot session.run() oracles (stream-determinism contract "
+            "broken)",
             file=sys.stderr,
         )
         return 1, payload
@@ -776,6 +1103,9 @@ _CHECK_METRICS: dict[str, tuple[str, ...]] = {
     ),
     "serve.tracking.throughput_vs_direct": (
         "serve", "tracking", "throughput_vs_direct",
+    ),
+    "serve.scenario_mix.throughput_vs_direct": (
+        "serve", "scenario_mix", "throughput_vs_direct",
     ),
 }
 
@@ -1088,6 +1418,66 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("store", help="run store directory")
     report_parser.add_argument("--json", action="store_true")
     report_parser.set_defaults(handler=_cmd_report)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        help="list/run/report the named scenario library "
+        "(declarative worlds swept over substrates x seeds)",
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command")
+
+    scn_list = scenarios_sub.add_parser(
+        "list", help="list the stock scenario library"
+    )
+    scn_list.add_argument("--tag", default=None, help="filter by tag")
+    scn_list.add_argument("--json", action="store_true")
+    scn_list.set_defaults(handler=_cmd_scenarios_list)
+
+    scn_run = scenarios_sub.add_parser(
+        "run", help="sweep scenarios over substrates x seeds"
+    )
+    scn_run.add_argument(
+        "names", nargs="+", help="scenario names (or 'all')"
+    )
+    scn_run.add_argument(
+        "--substrates", default=None, help="comma-separated substrate names"
+    )
+    scn_run.add_argument(
+        "--seeds", default=None, help="comma-separated integer seeds"
+    )
+    scn_run.add_argument(
+        "--set",
+        action="append",
+        metavar="PATH=VALUE",
+        help="dotted spec override, e.g. trajectory.n_steps=8 (repeatable)",
+    )
+    scn_run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process count (1 = serial; results identical either way)",
+    )
+    scn_run.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="write a structured run store (manifest.json + results.jsonl)",
+    )
+    scn_run.add_argument(
+        "--tiny",
+        action="store_true",
+        help="cap every spec to a smoke-test budget before overrides",
+    )
+    scn_run.add_argument("--json", action="store_true")
+    scn_run.set_defaults(handler=_cmd_scenarios_run)
+
+    scn_report = scenarios_sub.add_parser(
+        "report", help="summarise a scenario run store"
+    )
+    scn_report.add_argument("store", help="run store directory")
+    scn_report.add_argument("--json", action="store_true")
+    scn_report.set_defaults(handler=_cmd_scenarios_report)
 
     bench_parser = sub.add_parser(
         "bench",

@@ -399,3 +399,9 @@ def run_e11(ctx: ExperimentContext) -> dict:
         n_mc_iterations=cfg.n_mc_iterations,
         epochs=cfg.epochs,
     )
+
+
+# The scenario library's SCN experiment registers on import, so any
+# `repro run/sweep SCN` (and compiled scenario plans in worker processes)
+# resolve it through the ordinary registry path.
+import repro.scenarios.runner  # noqa: E402,F401  (registration side effect)

@@ -257,12 +257,13 @@ def get_experiment(experiment_id: str) -> ExperimentSpec:
 
 
 def list_experiments() -> list[ExperimentSpec]:
-    """All registered experiments, sorted by numeric id."""
+    """All registered experiments: numeric ids (E1-E11) first, in
+    numeric order, then letter-only ids (SCN) alphabetically."""
     _ensure_registered()
 
     def sort_key(spec: ExperimentSpec) -> tuple:
         digits = "".join(c for c in spec.id if c.isdigit())
-        return (int(digits) if digits else 0, spec.id)
+        return (0, int(digits), spec.id) if digits else (1, 0, spec.id)
 
     return sorted(_REGISTRY.values(), key=sort_key)
 

@@ -1,0 +1,83 @@
+"""Scenario library + declarative world builder.
+
+Typed :class:`ScenarioSpec` descriptions of complete localization
+scenarios (map, trajectory, sensors, noise, precision, init policy) with
+strict JSON round-trip, a stock library of 20+ named scenarios, a
+builder compiling specs onto the existing scene/maps/filtering stack,
+Plan/JobSpec sweep compilation, and traffic mixes for the serve layer.
+
+    from repro.scenarios import get_scenario, run_scenario
+
+    spec = get_scenario("sensor-dropout-burst")
+    metrics = run_scenario(spec, substrate="cim", seed=0)
+
+CLI: ``repro scenarios list|run|report``.
+"""
+
+from repro.scenarios.library import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    ScenarioRunConfig,
+    apply_overrides,
+    compile_scenarios,
+    run_scenario,
+    summarize_rows,
+)
+from repro.scenarios.spec import (
+    InitSpec,
+    MapSpec,
+    NoiseSpec,
+    PrecisionSpec,
+    ScenarioSpec,
+    SensorSpec,
+    TrajectorySpec,
+)
+from repro.scenarios.traffic import (
+    ScenarioMix,
+    scenario_track_setup,
+    scenario_track_world,
+    serving_profile,
+    track_init,
+)
+from repro.scenarios.world import (
+    ScenarioWorld,
+    build_session,
+    build_world,
+    initialize,
+    scenario_world,
+    session_seed,
+)
+
+__all__ = [
+    "InitSpec",
+    "MapSpec",
+    "NoiseSpec",
+    "PrecisionSpec",
+    "ScenarioMix",
+    "ScenarioRunConfig",
+    "ScenarioSpec",
+    "ScenarioWorld",
+    "SensorSpec",
+    "TrajectorySpec",
+    "apply_overrides",
+    "build_session",
+    "build_world",
+    "compile_scenarios",
+    "get_scenario",
+    "initialize",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+    "scenario_track_setup",
+    "scenario_track_world",
+    "scenario_world",
+    "serving_profile",
+    "session_seed",
+    "summarize_rows",
+    "track_init",
+]

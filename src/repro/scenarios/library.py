@@ -1,0 +1,301 @@
+"""Registry + stock library of named scenarios.
+
+Every scenario is a validated :class:`ScenarioSpec` registered under its
+``name`` with free-form tags for filtering.  The stock library below
+spans the axes the paper's evaluation cares about -- map families and
+fitting budgets, flight profiles, sensor degradation, odometry
+corruption, precision regimes and initialization policies -- so sweeps,
+benches and the serve traffic mixes all draw from one catalogue.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.scenarios.spec import (
+    InitSpec,
+    MapSpec,
+    NoiseSpec,
+    PrecisionSpec,
+    ScenarioSpec,
+    SensorSpec,
+    TrajectorySpec,
+)
+
+__all__ = [
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "scenario_names",
+]
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    spec: ScenarioSpec, overwrite: bool = False
+) -> ScenarioSpec:
+    """Validate and register ``spec`` under ``spec.name``; returns it.
+
+    Raises:
+        ValueError: the spec is invalid, or the name is taken and
+            ``overwrite`` is False.
+    """
+    spec.validate()
+    if spec.name in _SCENARIOS and not overwrite:
+        raise ValueError(
+            f"scenario {spec.name!r} already registered "
+            "(pass overwrite=True to replace)"
+        )
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name.
+
+    Raises:
+        KeyError: unknown name; the message carries a did-you-mean
+            suggestion plus the full option list.
+    """
+    spec = _SCENARIOS.get(name)
+    if spec is not None:
+        return spec
+    close = difflib.get_close_matches(name, _SCENARIOS, n=1, cutoff=0.5)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    raise KeyError(
+        f"unknown scenario {name!r}{hint}; options: {scenario_names()}"
+    )
+
+
+def scenario_names() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def list_scenarios(tag: str | None = None) -> list[ScenarioSpec]:
+    """Registered scenarios (sorted by name), optionally filtered by tag."""
+    specs = [_SCENARIOS[name] for name in scenario_names()]
+    if tag is None:
+        return specs
+    return [spec for spec in specs if tag in spec.tags]
+
+
+# ---------------------------------------------------------------------------
+# Stock library
+# ---------------------------------------------------------------------------
+
+def _stock(spec: ScenarioSpec) -> ScenarioSpec:
+    return register_scenario(spec)
+
+
+_stock(ScenarioSpec(
+    name="room-baseline",
+    description="nominal indoor room orbit; the paper's reference flight",
+    tags=("room", "nominal", "serving"),
+))
+
+_stock(ScenarioSpec(
+    name="warehouse-cluttered",
+    description="large cluttered warehouse floor, dense furniture field",
+    tags=("room", "clutter", "large-map"),
+    world_seed=11,
+    map=MapSpec(size=8.0, height=4.5, clutter=14, cloud_points=5000,
+                n_components=64, total_columns=700),
+    trajectory=TrajectorySpec(radius=2.8, height=1.8, n_steps=30),
+))
+
+_stock(ScenarioSpec(
+    name="warehouse-sparse",
+    description="warehouse-scale map with almost no landmarks",
+    tags=("room", "sparse", "large-map", "hard"),
+    world_seed=12,
+    map=MapSpec(size=8.0, height=4.5, clutter=1, cloud_points=2500,
+                n_components=32, total_columns=500),
+    trajectory=TrajectorySpec(radius=2.5, height=1.6, n_steps=30),
+))
+
+_stock(ScenarioSpec(
+    name="urban-canyon-gps-denied",
+    description="GPS-denied canyon: global init, tall walls, tight orbit",
+    tags=("room", "global-init", "hard"),
+    world_seed=13,
+    map=MapSpec(size=5.0, height=6.0, clutter=8),
+    trajectory=TrajectorySpec(radius=1.1, height=2.2, n_steps=30),
+    init=InitSpec(mode="global", z_range=(1.0, 3.5)),
+))
+
+_stock(ScenarioSpec(
+    name="sensor-dropout-burst",
+    description="one mid-flight burst blanking 70% of depth pixels",
+    tags=("room", "dropout", "degraded", "serving"),
+    world_seed=14,
+    sensor=SensorSpec(dropout_fraction=0.7, dropout_start=8,
+                      dropout_steps=5),
+))
+
+_stock(ScenarioSpec(
+    name="sensor-dropout-periodic",
+    description="periodic 2-step dropout bursts every 6 steps (50% pixels)",
+    tags=("room", "dropout", "degraded"),
+    world_seed=15,
+    trajectory=TrajectorySpec(n_steps=30),
+    sensor=SensorSpec(dropout_fraction=0.5, dropout_start=4,
+                      dropout_steps=2, dropout_period=6),
+))
+
+_stock(ScenarioSpec(
+    name="sensor-degraded-lowres",
+    description="tiny low-FOV depth sensor with few scan points",
+    tags=("room", "degraded", "sensor"),
+    world_seed=16,
+    sensor=SensorSpec(width=16, height=12, fov_x_deg=50.0, max_pixels=16),
+))
+
+_stock(ScenarioSpec(
+    name="night-noisy-sensor",
+    description="heavy multiplicative depth noise (night / low reflectance)",
+    tags=("room", "noise", "degraded"),
+    world_seed=17,
+    noise=NoiseSpec(depth_noise_std=0.06),
+))
+
+_stock(ScenarioSpec(
+    name="adc-low-precision",
+    description="2-bit log-ADC CIM regime (paper's precision floor)",
+    tags=("room", "precision", "serving"),
+    world_seed=18,
+    precision=PrecisionSpec(adc_bits=2),
+))
+
+_stock(ScenarioSpec(
+    name="adc-high-precision",
+    description="8-bit log-ADC CIM regime (precision headroom)",
+    tags=("room", "precision"),
+    world_seed=19,
+    precision=PrecisionSpec(adc_bits=8),
+))
+
+_stock(ScenarioSpec(
+    name="digital-low-precision",
+    description="4-bit digital datapath baseline stress",
+    tags=("room", "precision", "digital"),
+    world_seed=20,
+    precision=PrecisionSpec(digital_bits=4),
+))
+
+_stock(ScenarioSpec(
+    name="map-misfit-sparse",
+    description="map model starved to 8 components on a cluttered room",
+    tags=("room", "misfit", "hard"),
+    world_seed=21,
+    map=MapSpec(clutter=8, n_components=8),
+))
+
+_stock(ScenarioSpec(
+    name="map-misfit-converted",
+    description="width-snapped converted HMGM fit instead of direct",
+    tags=("room", "misfit"),
+    world_seed=22,
+    map=MapSpec(fit_mode="convert"),
+))
+
+_stock(ScenarioSpec(
+    name="map-adversarial-clutter",
+    description="dense clutter + coarse noisy mapping cloud",
+    tags=("room", "misfit", "clutter", "hard"),
+    world_seed=23,
+    map=MapSpec(clutter=12, cloud_points=1200, cloud_noise_std=0.05,
+                min_sigma=0.12),
+))
+
+_stock(ScenarioSpec(
+    name="long-duration-drift",
+    description="60-step double orbit with a forward odometry bias",
+    tags=("room", "drift", "long"),
+    world_seed=24,
+    trajectory=TrajectorySpec(n_steps=60, sweep_rad=12.566370614359172),
+    noise=NoiseSpec(odometry_bias=0.02),
+))
+
+_stock(ScenarioSpec(
+    name="odometry-biased",
+    description="constant forward odometry bias (miscalibrated IMU)",
+    tags=("room", "odometry", "degraded"),
+    world_seed=25,
+    noise=NoiseSpec(odometry_bias=0.05),
+))
+
+_stock(ScenarioSpec(
+    name="odometry-noisy",
+    description="heavy white odometry noise on every control",
+    tags=("room", "odometry", "degraded"),
+    world_seed=26,
+    noise=NoiseSpec(odometry_noise=0.05),
+))
+
+_stock(ScenarioSpec(
+    name="hover-station-keeping",
+    description="near-stationary hover; belief must not wander",
+    tags=("room", "hover"),
+    world_seed=27,
+    trajectory=TrajectorySpec(profile="hover", n_steps=25, radius=0.9,
+                              height=1.0, height_wobble=0.05),
+))
+
+_stock(ScenarioSpec(
+    name="figure8-aggressive",
+    description="fast figure-8 with sharp heading reversals",
+    tags=("room", "aggressive"),
+    world_seed=28,
+    trajectory=TrajectorySpec(profile="figure8", n_steps=35, radius=1.5,
+                              height=1.3, height_wobble=0.25),
+))
+
+_stock(ScenarioSpec(
+    name="global-relocalization",
+    description="uniform global init on the nominal room (kidnapped robot)",
+    tags=("room", "global-init", "hard"),
+    world_seed=29,
+    init=InitSpec(mode="global"),
+))
+
+_stock(ScenarioSpec(
+    name="tabletop-inspection",
+    description="RGB-D-Scenes-style tabletop orbit at close range",
+    tags=("tabletop", "nominal"),
+    world_seed=30,
+    map=MapSpec(family="tabletop", size=1.2, height=0.7, clutter=4,
+                cloud_points=2000, n_components=32, min_sigma=0.04),
+    trajectory=TrajectorySpec(radius=0.9, height=0.6, n_steps=25,
+                              height_wobble=0.08),
+    sensor=SensorSpec(pitch_deg=35.0),
+    init=InitSpec(offset=(0.15, -0.1, 0.05, 0.1),
+                  sigma=(0.2, 0.2, 0.1, 0.2)),
+))
+
+_stock(ScenarioSpec(
+    name="clean-oracle",
+    description="noise-free world: no mismatch, no analog noise",
+    tags=("room", "oracle"),
+    world_seed=31,
+    map=MapSpec(cloud_noise_std=0.0),
+    noise=NoiseSpec(with_mismatch=False, with_noise=False),
+))
+
+_stock(ScenarioSpec(
+    name="low-altitude-skim",
+    description="skimming the floor: oblique returns, steep pitch",
+    tags=("room", "aggressive", "sensor"),
+    world_seed=32,
+    trajectory=TrajectorySpec(radius=1.6, height=0.4, height_wobble=0.05),
+    sensor=SensorSpec(pitch_deg=45.0),
+))
+
+_stock(ScenarioSpec(
+    name="particle-starved",
+    description="60-particle filter on the nominal room (compute floor)",
+    tags=("room", "budget", "hard"),
+    world_seed=33,
+    n_particles=60,
+))

@@ -1,0 +1,295 @@
+"""Run scenarios on the Plan/JobSpec batch runtime.
+
+One registered experiment -- ``SCN`` -- executes *any* scenario: the
+scenario's canonical JSON travels inside the job's config overrides, so a
+scenario sweep is an ordinary :class:`~repro.runtime.Plan` that
+``ParallelExecutor`` runs serially or across processes with the existing
+bit-identity guarantee (worlds are memoised deterministically per
+process; nothing about a job depends on executor state).
+
+:func:`compile_scenarios` is the seam later subsystems (codesign
+autotuner, loadtest) build on: names x substrates x seeds in, one
+validated concatenated plan out.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import difflib
+
+import numpy as np
+
+from repro.api.registry import ExperimentContext, experiment
+from repro.runtime.plan import JobSpec, Plan
+from repro.scenarios.library import get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.world import build_session, initialize, scenario_world
+
+__all__ = [
+    "ScenarioRunConfig",
+    "apply_overrides",
+    "compile_scenarios",
+    "run_scenario",
+    "summarize_rows",
+]
+
+_SCENARIO_SUBSTRATES = (
+    "digital",
+    "digital-float",
+    "cim",
+    "cim-reuse",
+    "cim-ordered",
+)
+
+# Error threshold (m) for the converged_step metric -- matches
+# LocalizationResult.converged_step's default.
+_CONVERGENCE_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class ScenarioRunConfig:
+    """Config of the ``SCN`` experiment.
+
+    Attributes:
+        seed: run seed (prior draw, motion sampling, resampling).
+        scenario: library name, used when ``spec`` is empty.
+        spec: canonical scenario JSON; when non-empty it *is* the
+            scenario (this is how compiled plans pin the exact spec,
+            overrides and all, into each job).
+    """
+
+    seed: int = 0
+    scenario: str = "room-baseline"
+    spec: str = ""
+
+
+def run_scenario(
+    spec: ScenarioSpec, substrate: str = "digital", seed: int = 0
+) -> dict:
+    """One end-to-end scenario run; returns a flat metrics dict."""
+    spec.validate()
+    world = scenario_world(spec)
+    session = build_session(spec, substrate, world=world)
+    rng = np.random.default_rng(int(seed))
+    initialize(spec, world, session, rng)
+    result = session.run((world.controls, world.depths, world.states), rng=rng)
+    errors = np.asarray(result.extras["errors"], dtype=float)
+    summary = dict(result.extras["summary"])
+    n_steps = int(world.states.shape[0])
+    below = errors < _CONVERGENCE_THRESHOLD
+    converged = None
+    if below.size and below[-1]:
+        above = np.flatnonzero(~below)
+        converged = 0 if above.size == 0 else int(above[-1]) + 1
+    return {
+        "scenario": spec.name,
+        "tags": list(spec.tags),
+        "substrate": substrate,
+        "backend": result.extras["backend"],
+        "n_steps": n_steps,
+        "dropped_steps": len(world.dropped_steps),
+        "initial_error_m": summary["initial_error_m"],
+        "final_error_m": summary["final_error_m"],
+        "mean_error_m": float(errors.mean()) if errors.size else float("nan"),
+        "steady_state_error_m": summary["steady_state_error_m"],
+        "converged_step": converged,
+        "energy_j": float(result.energy_j),
+        "energy_per_step_j": float(result.energy_j) / max(n_steps, 1),
+        "ops_executed": int(result.ops_executed),
+    }
+
+
+@experiment(
+    "SCN",
+    title="Scenario library run",
+    config=ScenarioRunConfig,
+    substrates=_SCENARIO_SUBSTRATES,
+)
+def run_scn(ctx: ExperimentContext) -> dict:
+    """Run one library (or inline-JSON) scenario on one substrate."""
+    cfg = ctx.config
+    if cfg.spec:
+        spec = ScenarioSpec.from_json(cfg.spec)
+    else:
+        spec = get_scenario(cfg.scenario)
+    substrate = ctx.substrate.name if ctx.substrate else "digital"
+    return run_scenario(spec, substrate=substrate, seed=ctx.seed)
+
+
+def apply_overrides(
+    spec: ScenarioSpec, overrides: Mapping[str, str] | None
+) -> ScenarioSpec:
+    """Apply dotted-path ``--set`` overrides to a scenario spec.
+
+    Keys address nested fields (``trajectory.n_steps``,
+    ``noise.depth_noise_std``, top-level ``n_particles``); string values
+    are coerced like experiment config overrides.  Unknown paths raise
+    ``ValueError`` with a did-you-mean suggestion; the result is
+    re-validated.
+    """
+    if not overrides:
+        return spec
+    for path, value in overrides.items():
+        parts = path.split(".")
+        target = spec
+        crumbs: list[tuple[Any, str]] = []
+        for depth, part in enumerate(parts):
+            options = [f.name for f in dataclasses.fields(target)]
+            if part not in options:
+                prefix = ".".join(parts[:depth])
+                close = difflib.get_close_matches(part, options, n=1, cutoff=0.5)
+                hint = f" (did you mean {close[0]!r}?)" if close else ""
+                where = f" in {prefix!r}" if prefix else ""
+                raise ValueError(
+                    f"unknown scenario field {part!r}{where}{hint}; "
+                    f"options: {sorted(options)}"
+                )
+            crumbs.append((target, part))
+            target = getattr(target, part)
+        if dataclasses.is_dataclass(target):
+            raise ValueError(
+                f"scenario field {path!r} is a section, not a value; "
+                f"set one of its fields: "
+                f"{sorted(f.name for f in dataclasses.fields(target))}"
+            )
+        coerced = _coerce_value(target, value, path)
+        # Rebuild the nested frozen dataclasses from the leaf outward;
+        # the final replacement target is the spec itself.
+        for owner, part in reversed(crumbs):
+            coerced = dataclasses.replace(owner, **{part: coerced})
+        spec = coerced
+    return spec.validate()
+
+
+def _coerce_value(current: Any, value: Any, path: str) -> Any:
+    if isinstance(value, str):
+        try:
+            value = ast.literal_eval(value)
+        except (ValueError, SyntaxError):
+            pass  # keep as string (e.g. profile="hover")
+    if isinstance(value, list):
+        value = tuple(value)
+    if current is None:
+        # Optional field (init.z_range): accept None or a 2-tuple.
+        if value is not None and not (
+            isinstance(value, tuple) and len(value) == 2
+        ):
+            raise ValueError(
+                f"scenario field {path!r} expects None or a 2-tuple, "
+                f"got {value!r}"
+            )
+        return value
+    if isinstance(current, bool):
+        if not isinstance(value, bool):
+            raise ValueError(
+                f"scenario field {path!r} expects bool, got {value!r}"
+            )
+        return value
+    if isinstance(current, int) and not isinstance(current, bool):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValueError(
+                f"scenario field {path!r} expects int, got {value!r}"
+            )
+        return value
+    if isinstance(current, float):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"scenario field {path!r} expects float, got {value!r}"
+            )
+        return float(value)
+    if not isinstance(value, type(current)):
+        raise ValueError(
+            f"scenario field {path!r} expects {type(current).__name__}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def compile_scenarios(
+    names: Sequence[str],
+    substrates: Sequence[str] | None = None,
+    seeds: Sequence[int] | None = None,
+    overrides: Mapping[str, str] | None = None,
+    specs: Iterable[ScenarioSpec] | None = None,
+    tiny: bool = False,
+) -> Plan:
+    """Compile scenarios x substrates x seeds into one validated Plan.
+
+    Each scenario resolves from the library (or ``specs``, matched by
+    name), receives the dotted ``--set`` overrides (after the optional
+    ``tiny`` budget cap), and is pinned into its jobs as canonical
+    JSON -- so executor workers rebuild the exact spec without
+    consulting the library.
+
+    Raises:
+        KeyError: unknown scenario name (with a did-you-mean hint).
+        ValueError: bad override path/value, or an invalid spec.
+    """
+    if not names:
+        raise ValueError("no scenarios given")
+    catalogue = {spec.name: spec for spec in specs} if specs is not None else None
+    jobs: list[JobSpec] = []
+    for name in names:
+        if catalogue is not None:
+            if name not in catalogue:
+                raise KeyError(
+                    f"unknown scenario {name!r}; options: {sorted(catalogue)}"
+                )
+            spec = catalogue[name]
+        else:
+            spec = get_scenario(name)
+        if tiny:
+            spec = spec.tiny()
+        spec = apply_overrides(spec, overrides)
+        sub_plan = Plan.compile(
+            "SCN",
+            substrates=substrates,
+            seeds=seeds,
+            overrides={"scenario": spec.name, "spec": spec.to_json()},
+        )
+        for job in sub_plan:
+            jobs.append(dataclasses.replace(job, index=len(jobs)))
+    return Plan(jobs=tuple(jobs))
+
+
+def summarize_rows(rows: Iterable[Mapping[str, Any]]) -> list[dict]:
+    """Aggregate per-job metric rows into scenario x substrate lines.
+
+    ``rows`` are ``SCN`` metrics dicts (one per job); the output has one
+    line per (scenario, substrate) with seed counts and means -- the
+    table ``repro scenarios report`` prints.
+    """
+    grouped: dict[tuple[str, str], list[Mapping[str, Any]]] = {}
+    for row in rows:
+        key = (str(row.get("scenario")), str(row.get("substrate")))
+        grouped.setdefault(key, []).append(row)
+
+    def _mean(group: list[Mapping[str, Any]], field: str) -> float:
+        values = [float(r[field]) for r in group if r.get(field) is not None]
+        return float(np.mean(values)) if values else float("nan")
+
+    summary = []
+    for (scenario, substrate), group in sorted(grouped.items()):
+        converged = [
+            r["converged_step"]
+            for r in group
+            if r.get("converged_step") is not None
+        ]
+        summary.append(
+            {
+                "scenario": scenario,
+                "substrate": substrate,
+                "runs": len(group),
+                "final_error_m": _mean(group, "final_error_m"),
+                "mean_error_m": _mean(group, "mean_error_m"),
+                "steady_state_error_m": _mean(group, "steady_state_error_m"),
+                "converged_runs": len(converged),
+                "energy_j": _mean(group, "energy_j"),
+                "ops_executed": _mean(group, "ops_executed"),
+            }
+        )
+    return summary

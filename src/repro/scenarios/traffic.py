@@ -1,0 +1,162 @@
+"""Scenario-driven traffic for the serve layer.
+
+A :class:`ScenarioMix` is a weighted set of library scenarios; it
+deterministically apportions N concurrent track sessions across its
+entries (largest-remainder counts + a seeded shuffle), which is how the
+serve bench -- and, later, ``repro loadtest`` -- draws realistic traffic
+from the scenario catalogue instead of hammering one hand-built world.
+
+Scenario -> serving bridges: :func:`scenario_track_world` packages a
+scenario's world as the picklable :class:`~repro.serve.tracks.TrackWorld`
+the track manager ships to shards, built so that sessions are
+bit-identical to :func:`repro.scenarios.world.build_session` -- the
+stream determinism contract (``reference_track_run``) therefore holds
+for scenario-fed services unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.tracks import TrackWorld
+from repro.serve.types import TrackInit
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.world import (
+    ScenarioWorld,
+    scenario_localizer_kwargs,
+    scenario_world,
+    session_seed,
+)
+
+__all__ = [
+    "ScenarioMix",
+    "scenario_track_setup",
+    "scenario_track_world",
+    "serving_profile",
+    "track_init",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioMix:
+    """A weighted mix of scenario names.
+
+    Attributes:
+        entries: ``(name, weight)`` pairs; weights are relative and must
+            be positive.
+    """
+
+    entries: tuple[tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a scenario mix needs at least one entry")
+        names = [name for name, _ in self.entries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate scenario in mix: {names}")
+        for name, weight in self.entries:
+            if not weight > 0:
+                raise ValueError(
+                    f"mix weight for {name!r} must be > 0, got {weight}"
+                )
+
+    def counts(self, n: int) -> dict[str, int]:
+        """Apportion ``n`` slots by weight (largest-remainder method).
+
+        Deterministic, exact (counts sum to ``n``), and stable: ties on
+        the fractional remainder break by entry order.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        total = sum(weight for _, weight in self.entries)
+        quotas = [n * weight / total for _, weight in self.entries]
+        counts = [int(q) for q in quotas]
+        leftover = n - sum(counts)
+        by_remainder = sorted(
+            range(len(quotas)), key=lambda i: quotas[i] - counts[i], reverse=True
+        )
+        for i in by_remainder[:leftover]:
+            counts[i] += 1
+        return {name: c for (name, _), c in zip(self.entries, counts)}
+
+    def assign(self, n: int, seed: int = 0) -> list[str]:
+        """Assign ``n`` track slots to scenario names, shuffled.
+
+        The counts come from :meth:`counts`; the interleaving is a seeded
+        permutation so concurrent tracks of different scenarios mix in
+        flight (exercising cross-world batching) while the whole
+        assignment stays reproducible.
+        """
+        block = [
+            name for name, count in self.counts(n).items() for _ in range(count)
+        ]
+        order = np.random.default_rng(int(seed)).permutation(len(block))
+        return [block[i] for i in order]
+
+
+def serving_profile(spec: ScenarioSpec, n_steps: int | None = None) -> ScenarioSpec:
+    """A serving-sized variant of a scenario.
+
+    Serving benches step many concurrent tracks for a few steps each, so
+    the world is shrunk with :meth:`ScenarioSpec.tiny` (small frames,
+    few components -- the same size class as the serve demo world) and
+    optionally re-lengthened to ``n_steps``.
+    """
+    small = spec.tiny()
+    if n_steps is not None:
+        small = dataclasses.replace(
+            small,
+            trajectory=dataclasses.replace(small.trajectory, n_steps=n_steps),
+        )
+    return small.validate()
+
+
+def scenario_track_world(
+    spec: ScenarioSpec, world: ScenarioWorld | None = None
+) -> TrackWorld:
+    """Package a scenario as a serve-layer :class:`TrackWorld`.
+
+    ``TrackWorld.build_session`` seeds its rng with ``session_seed`` and
+    passes ``localizer_kwargs`` straight through, so sessions it builds
+    are bit-identical to ``repro.scenarios.world.build_session`` -- the
+    serve determinism oracle applies to scenario traffic unchanged.
+    """
+    if world is None:
+        world = scenario_world(spec)
+    return TrackWorld(
+        map_cloud=world.cloud,
+        camera=world.camera,
+        session_seed=session_seed(spec),
+        localizer_kwargs={
+            "camera_mount": world.mount,
+            **scenario_localizer_kwargs(spec),
+        },
+    )
+
+
+def track_init(spec: ScenarioSpec, world: ScenarioWorld) -> TrackInit:
+    """The spec's init policy as a wire-safe :class:`TrackInit`."""
+    if spec.init.mode == "global":
+        return TrackInit(mode="global", z_range=spec.init.z_range)
+    return TrackInit(
+        mode="tracking",
+        state=world.states[0] + np.asarray(spec.init.offset),
+        sigma=np.asarray(spec.init.sigma),
+    )
+
+
+def scenario_track_setup(
+    spec: ScenarioSpec,
+) -> tuple[TrackWorld, TrackInit, tuple[np.ndarray, list[np.ndarray], np.ndarray]]:
+    """Everything a served scenario track needs.
+
+    Returns ``(track_world, init, (controls, depths, truth))`` -- open a
+    track with the init, feed it the measurement stream, and compare
+    against ``reference_track_run`` with the same tuple.
+    """
+    world = scenario_world(spec)
+    measurements = (world.controls, world.depths, world.states)
+    return scenario_track_world(spec, world), track_init(spec, world), measurements

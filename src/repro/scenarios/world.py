@@ -1,0 +1,321 @@
+"""Compile a :class:`ScenarioSpec` into a concrete simulated world.
+
+The builder is a thin declarative front over the existing stack -- scenes
+come from :mod:`repro.scene.scene`, rendering from
+:mod:`repro.scene.render`, sessions from the substrate registry -- so a
+scenario run exercises exactly the code paths of the hand-assembled
+experiments; there is no parallel execution path.
+
+Determinism contract: every random choice of the *world* (scene layout,
+mapping cloud, sensor noise, dropout pattern, odometry corruption, map
+fitting + hardware instantiation) derives from ``spec.world_seed`` via
+``np.random.SeedSequence(world_seed, spawn_key=(purpose,))``, so worlds
+are reproducible, independent across purposes, and identical no matter
+which order the pieces are built in.  Per-run randomness (prior draw,
+motion sampling, resampling) comes from the job seed instead -- one world,
+many independent runs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.api.substrates import LocalizationSession, get_substrate
+from repro.scene.camera import PinholeCamera, body_camera_mount
+from repro.scene.render import DepthRenderer
+from repro.scene.scene import Scene, make_room_scene, make_tabletop_scene
+from repro.scene.se3 import Pose
+from repro.scene.trajectory import drone_orbit_states, states_to_controls
+from repro.filtering.measurement import state_to_pose
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioWorld",
+    "build_session",
+    "build_world",
+    "initialize",
+    "scenario_localizer_kwargs",
+    "scenario_world",
+    "session_seed",
+]
+
+# spawn_key purposes of the world seed (frozen contract -- changing these
+# renumbers every stock scenario's world).
+_PURPOSE_SCENE = 0
+_PURPOSE_CLOUD = 1
+_PURPOSE_DEPTH_NOISE = 2
+_PURPOSE_DROPOUT = 3
+_PURPOSE_ODOMETRY = 4
+_PURPOSE_SESSION = 10
+
+# Dropout never blanks below this many valid pixels, so the measurement
+# model always keeps a scan.
+_MIN_VALID_PIXELS = 4
+
+
+def _world_rng(spec: ScenarioSpec, purpose: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(spec.world_seed, spawn_key=(purpose,))
+    )
+
+
+def session_seed(spec: ScenarioSpec) -> int:
+    """Integer seed for the session rng (map fit + hardware instantiation).
+
+    Exposed as a plain int so serving-layer :class:`TrackWorld` objects --
+    which carry ``session_seed`` across process boundaries -- build
+    sessions bit-identical to :func:`build_session`.
+    """
+    seq = np.random.SeedSequence(spec.world_seed, spawn_key=(_PURPOSE_SESSION,))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass
+class ScenarioWorld:
+    """A built scenario: scene, rendered flight and measurement stream.
+
+    Attributes:
+        spec: the validated spec this world was built from.
+        scene: the procedural scene.
+        cloud: (N, 3) mapping point cloud (what the map model is fit to).
+        camera: depth-camera intrinsics.
+        mount: camera-to-body transform.
+        states: (T, 4) ground-truth drone states.
+        controls: (T, 4) odometry controls aligned with frames (row 0 is
+            zero), including the spec's odometry noise/bias corruption.
+        depths: T rendered depth frames (noise + dropout applied).
+        dropped_steps: step indices where sensor dropout was applied.
+    """
+
+    spec: ScenarioSpec
+    scene: Scene
+    cloud: np.ndarray
+    camera: PinholeCamera
+    mount: Pose
+    states: np.ndarray
+    controls: np.ndarray
+    depths: list[np.ndarray]
+    dropped_steps: tuple[int, ...]
+
+
+def _profile_states(spec: ScenarioSpec) -> np.ndarray:
+    """(T, 4) ground-truth states for the spec's trajectory profile."""
+    t = spec.trajectory
+    center = np.zeros(3)
+    if spec.map.family == "tabletop":
+        # Fly above the table top rather than through it.
+        center = np.array([0.0, 0.0, 0.35])
+    if t.profile == "orbit":
+        return drone_orbit_states(
+            center=center,
+            radius=t.radius,
+            height=t.height,
+            n_steps=t.n_steps,
+            sweep_rad=t.sweep_rad,
+            height_wobble=t.height_wobble,
+            start_angle=t.start_angle,
+        )
+    n = t.n_steps
+    phase = np.linspace(0.0, 2.0 * np.pi, n) if n > 1 else np.zeros(1)
+    states = np.empty((n, 4))
+    if t.profile == "figure8":
+        # Gerono lemniscate scaled by the radius, heading tangent.
+        u = t.start_angle + np.linspace(0.0, t.sweep_rad, n)
+        states[:, 0] = center[0] + t.radius * np.sin(u)
+        states[:, 1] = center[1] + 0.6 * t.radius * np.sin(u) * np.cos(u)
+        states[:, 2] = center[2] + t.height + t.height_wobble * np.sin(2.0 * phase)
+        dx = t.radius * np.cos(u)
+        dy = 0.6 * t.radius * np.cos(2.0 * u)
+        states[:, 3] = np.arctan2(dy, dx)
+        return states
+    # hover: station keeping at (radius, 0, height) with a small
+    # deterministic bob, heading fixed on the scene center.
+    bob = 0.05
+    states[:, 0] = center[0] + t.radius + bob * np.sin(phase)
+    states[:, 1] = center[1] + bob * np.cos(phase)
+    states[:, 2] = center[2] + t.height + t.height_wobble * np.sin(2.0 * phase)
+    states[:, 3] = np.arctan2(center[1] - states[:, 1], center[0] - states[:, 0])
+    return states
+
+
+def _dropout_steps(spec: ScenarioSpec) -> tuple[int, ...]:
+    """Step indices inside a dropout burst (see :class:`SensorSpec`)."""
+    s = spec.sensor
+    if s.dropout_steps <= 0:
+        return ()
+    steps = []
+    for t in range(spec.trajectory.n_steps):
+        offset = t - s.dropout_start
+        if offset < 0:
+            continue
+        if s.dropout_period > 0:
+            offset = offset % s.dropout_period
+        if offset < s.dropout_steps:
+            steps.append(t)
+    return tuple(steps)
+
+
+def _apply_dropout(
+    depth: np.ndarray, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Blank ``fraction`` of the valid pixels to NaN, keeping a minimum."""
+    flat = depth.reshape(-1).copy()
+    valid = np.flatnonzero(np.isfinite(flat))
+    n_blank = min(
+        int(round(fraction * valid.size)),
+        max(valid.size - _MIN_VALID_PIXELS, 0),
+    )
+    if n_blank > 0:
+        blank = rng.choice(valid, size=n_blank, replace=False)
+        flat[blank] = np.nan
+    return flat.reshape(depth.shape)
+
+
+def build_world(spec: ScenarioSpec) -> ScenarioWorld:
+    """Build the full world for a (validated) spec; deterministic."""
+    spec.validate()
+    m, t, s, n = spec.map, spec.trajectory, spec.sensor, spec.noise
+
+    scene_rng = _world_rng(spec, _PURPOSE_SCENE)
+    if m.family == "room":
+        scene = make_room_scene(
+            scene_rng,
+            room_size=m.size,
+            room_height=m.height,
+            n_furniture=m.clutter,
+        )
+    else:
+        scene = make_tabletop_scene(
+            scene_rng,
+            n_objects=m.clutter,
+            table_size=m.size,
+            table_height=m.height,
+        )
+    cloud = scene.sample_point_cloud(
+        m.cloud_points,
+        _world_rng(spec, _PURPOSE_CLOUD),
+        noise_std=m.cloud_noise_std,
+    )
+    camera = PinholeCamera.from_fov(s.width, s.height, fov_x_deg=s.fov_x_deg)
+    mount = body_camera_mount(np.deg2rad(s.pitch_deg))
+
+    states = _profile_states(spec)
+    if states.shape[0] >= 2:
+        clean_controls = states_to_controls(states)
+        odometry_rng = _world_rng(spec, _PURPOSE_ODOMETRY)
+        if n.odometry_noise > 0:
+            clean_controls = clean_controls + odometry_rng.normal(
+                scale=n.odometry_noise, size=clean_controls.shape
+            )
+        if n.odometry_bias != 0.0:
+            clean_controls[:, 0] += n.odometry_bias
+        controls = np.vstack([np.zeros(4), clean_controls])
+    else:
+        controls = np.zeros((1, 4))
+
+    renderer = DepthRenderer(scene, camera)
+    noise_rng = _world_rng(spec, _PURPOSE_DEPTH_NOISE)
+    dropout_rng = _world_rng(spec, _PURPOSE_DROPOUT)
+    dropped = set(_dropout_steps(spec))
+    depths = []
+    for step, state in enumerate(states):
+        depth = renderer.render(
+            state_to_pose(state, mount),
+            depth_noise_std=n.depth_noise_std,
+            rng=noise_rng if n.depth_noise_std > 0 else None,
+        )
+        if step in dropped:
+            depth = _apply_dropout(depth, s.dropout_fraction, dropout_rng)
+        depths.append(depth)
+
+    return ScenarioWorld(
+        spec=spec,
+        scene=scene,
+        cloud=cloud,
+        camera=camera,
+        mount=mount,
+        states=states,
+        controls=controls,
+        depths=depths,
+        dropped_steps=tuple(sorted(dropped)),
+    )
+
+
+# In-process world memo: building a world (scene render above all) costs
+# seconds while a sweep revisits the same spec once per substrate x seed.
+# Keyed by canonical JSON (so equal specs share an entry across processes'
+# lifetimes deterministically); small LRU bound keeps sweep memory flat.
+_WORLD_CACHE: OrderedDict[str, ScenarioWorld] = OrderedDict()
+_WORLD_CACHE_MAX = 8
+
+
+def scenario_world(spec: ScenarioSpec) -> ScenarioWorld:
+    """Memoised :func:`build_world` (per-process, LRU-bounded)."""
+    key = spec.to_json()
+    cached = _WORLD_CACHE.get(key)
+    if cached is not None:
+        _WORLD_CACHE.move_to_end(key)
+        return cached
+    world = build_world(spec)
+    _WORLD_CACHE[key] = world
+    while len(_WORLD_CACHE) > _WORLD_CACHE_MAX:
+        _WORLD_CACHE.popitem(last=False)
+    return world
+
+
+def scenario_localizer_kwargs(spec: ScenarioSpec) -> dict[str, Any]:
+    """Localizer kwargs a spec maps to (shared with serve TrackWorlds)."""
+    return {
+        "n_components": spec.map.n_components,
+        "total_columns": spec.map.total_columns,
+        "n_particles": spec.n_particles,
+        "adc_bits": spec.precision.adc_bits,
+        "digital_bits": spec.precision.digital_bits,
+        "max_pixels": spec.sensor.max_pixels,
+        "temperature": spec.precision.temperature,
+        "with_mismatch": spec.noise.with_mismatch,
+        "with_noise": spec.noise.with_noise,
+        "min_sigma": spec.map.min_sigma,
+        "tiles": spec.map.tiles,
+        "fit_mode": spec.map.fit_mode,
+    }
+
+
+def build_session(
+    spec: ScenarioSpec,
+    substrate: str,
+    world: ScenarioWorld | None = None,
+) -> LocalizationSession:
+    """Open a localization session for the scenario on ``substrate``.
+
+    The session rng seeds from :func:`session_seed`, so map fitting and
+    hardware instantiation depend only on the world seed -- every job of a
+    sweep (and every serve-layer TrackWorld) sees the same arrays.
+    """
+    if world is None:
+        world = scenario_world(spec)
+    return get_substrate(substrate).localization_session(
+        world.cloud,
+        world.camera,
+        camera_mount=world.mount,
+        rng=np.random.default_rng(session_seed(spec)),
+        **scenario_localizer_kwargs(spec),
+    )
+
+
+def initialize(
+    spec: ScenarioSpec,
+    world: ScenarioWorld,
+    session: LocalizationSession,
+    rng: np.random.Generator,
+) -> None:
+    """Apply the spec's init policy to a fresh session."""
+    if spec.init.mode == "global":
+        session.initialize_global(rng, z_range=spec.init.z_range)
+        return
+    start = world.states[0] + np.asarray(spec.init.offset)
+    session.initialize_tracking(start, np.asarray(spec.init.sigma), rng)

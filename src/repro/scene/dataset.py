@@ -52,7 +52,11 @@ class SyntheticRGBDScenes:
             keep rendering and network training laptop-fast while preserving
             the geometry of the problem).
         frames_per_scene: sequence length per scene.
-        seed: base seed; scene k uses ``seed + k``.
+        seed: base seed; per-scene/per-purpose generators derive from it
+            via ``np.random.SeedSequence`` spawn keys, so datasets with
+            different base seeds never share streams (the old
+            ``seed + 1000 * scene_index`` offsets collided whenever two
+            base seeds differed by a multiple of 1000).
         depth_noise_std: relative depth noise (sigma = std * depth).
         orbit_radius / orbit_height: camera orbit parameters.
     """
@@ -83,14 +87,24 @@ class SyntheticRGBDScenes:
         self._scenes: dict[int, Scene] = {}
         self._trajectories: dict[int, Trajectory] = {}
 
-    def _scene_rng(self, scene_index: int) -> np.random.Generator:
-        return np.random.default_rng(self.seed + 1000 * scene_index)
+    # Purposes of the per-scene generators (spawn-key components).  Keyed
+    # derivation is collision-free across base seeds AND independent of
+    # the order the lazily-cached artefacts are first built in.
+    _RNG_SCENE = 0
+    _RNG_TRAJECTORY = 1
+    _RNG_POINT_CLOUD = 2
+    _RNG_FRAMES = 3
+
+    def _rng(self, scene_index: int, purpose: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(scene_index, purpose))
+        )
 
     def scene(self, scene_index: int) -> Scene:
         """The (cached) procedural scene for ``scene_index``."""
         self._check_index(scene_index)
         if scene_index not in self._scenes:
-            rng = self._scene_rng(scene_index)
+            rng = self._rng(scene_index, self._RNG_SCENE)
             self._scenes[scene_index] = make_tabletop_scene(
                 rng, n_objects=self.n_objects, name=f"synthetic-{scene_index:02d}"
             )
@@ -101,7 +115,7 @@ class SyntheticRGBDScenes:
         self._check_index(scene_index)
         if scene_index not in self._trajectories:
             scene = self.scene(scene_index)
-            rng = np.random.default_rng(self.seed + 1000 * scene_index + 1)
+            rng = self._rng(scene_index, self._RNG_TRAJECTORY)
             target = scene.centroid()
             # Look slightly above the table centroid so objects fill the frame.
             target = target + np.array([0.0, 0.0, 0.15])
@@ -124,7 +138,7 @@ class SyntheticRGBDScenes:
     ) -> np.ndarray:
         """A synthetic scanner point cloud of the scene (for map fitting)."""
         scene = self.scene(scene_index)
-        rng = np.random.default_rng(self.seed + 1000 * scene_index + 2)
+        rng = self._rng(scene_index, self._RNG_POINT_CLOUD)
         return scene.sample_point_cloud(n_points, rng, noise_std=noise_std)
 
     def frames(self, scene_index: int) -> list[RGBDFrame]:
@@ -132,7 +146,7 @@ class SyntheticRGBDScenes:
         scene = self.scene(scene_index)
         trajectory = self.trajectory(scene_index)
         renderer = DepthRenderer(scene, self.camera)
-        rng = np.random.default_rng(self.seed + 1000 * scene_index + 3)
+        rng = self._rng(scene_index, self._RNG_FRAMES)
         frames = []
         for index, (pose, timestamp) in enumerate(zip(trajectory, trajectory.timestamps)):
             depth, intensity = renderer.render_with_normals(pose)

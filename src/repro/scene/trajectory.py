@@ -59,8 +59,19 @@ class Trajectory:
         if timestamps is None:
             timestamps = np.arange(len(poses), dtype=float)
         self._timestamps = np.asarray(timestamps, dtype=float)
-        if len(self._timestamps) != len(self._poses):
-            raise ValueError("timestamps and poses length mismatch")
+        if self._timestamps.ndim != 1 or len(self._timestamps) != len(self._poses):
+            raise ValueError(
+                f"timestamps must be a 1-D sequence matching the "
+                f"{len(self._poses)} pose(s), got shape "
+                f"{self._timestamps.shape}"
+            )
+        if not np.all(np.isfinite(self._timestamps)):
+            raise ValueError("timestamps must be finite (no NaN/Inf)")
+        if np.any(np.diff(self._timestamps) <= 0):
+            raise ValueError(
+                "timestamps must be strictly increasing, got "
+                f"{self._timestamps.tolist()}"
+            )
 
     def __len__(self) -> int:
         return len(self._poses)

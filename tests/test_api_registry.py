@@ -21,7 +21,12 @@ FAST_E9 = {"n_inputs": 32, "n_outputs": 16, "n_iterations": 8, "n_trials": 1}
 class TestResolution:
     def test_all_seed_experiments_registered(self):
         ids = [spec.id for spec in list_experiments()]
-        assert ids == ["E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"]
+        # Paper experiments first in numeric order, then letter-only ids
+        # (the scenario library's SCN runner).
+        assert ids == [
+            "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
+            "SCN",
+        ]
 
     def test_numeric_ordering(self):
         ids = [spec.id for spec in list_experiments()]

@@ -1,0 +1,300 @@
+"""Scenario library: spec round-trip, overrides, library properties,
+Plan compilation, executor bit-identity, traffic mixes, and the
+`repro scenarios` CLI."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.api.cli import main
+from repro.runtime import ParallelExecutor
+from repro.scenarios import (
+    ScenarioMix,
+    ScenarioSpec,
+    TrajectorySpec,
+    apply_overrides,
+    build_session,
+    compile_scenarios,
+    get_scenario,
+    list_scenarios,
+    run_scenario,
+    scenario_names,
+    scenario_track_setup,
+    scenario_world,
+    serving_profile,
+    summarize_rows,
+)
+from repro.serve import reference_track_run
+
+TINY = ["--tiny", "--substrates", "digital", "--seeds", "0"]
+
+
+class TestSpec:
+    def test_defaults_validate(self):
+        spec = ScenarioSpec(name="t", description="d")
+        assert spec.validate() is spec
+
+    def test_validation_points_at_field(self):
+        spec = ScenarioSpec(name="t", description="d", n_particles=0)
+        with pytest.raises(ValueError, match="'n_particles' must be >= 1"):
+            spec.validate()
+        bad_map = dataclasses.replace(
+            get_scenario("room-baseline"),
+            map=dataclasses.replace(get_scenario("room-baseline").map, size=-1.0),
+        )
+        with pytest.raises(ValueError, match="'map.size' must be > 0"):
+            bad_map.validate()
+
+    def test_json_round_trip_is_bit_exact(self):
+        spec = get_scenario("sensor-dropout-burst")
+        text = spec.to_json()
+        again = ScenarioSpec.from_json(text)
+        assert again == spec
+        assert again.to_json() == text
+
+    def test_strict_parse_rejects_unknown_fields(self):
+        payload = get_scenario("room-baseline").to_jsonable()
+        payload["banana"] = 1
+        with pytest.raises(ValueError, match=r"unknown scenario spec field\(s\)"):
+            ScenarioSpec.from_jsonable(payload)
+        nested = get_scenario("room-baseline").to_jsonable()
+        nested["trajectory"]["warp"] = 9
+        with pytest.raises(ValueError, match="trajectory"):
+            ScenarioSpec.from_jsonable(nested)
+
+    def test_from_json_rejects_malformed_text(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_json("{not json")
+
+    def test_tiny_is_valid_and_small(self):
+        for name in scenario_names():
+            tiny = get_scenario(name).tiny()
+            tiny.validate()
+            assert tiny.n_particles <= 48
+            assert tiny.trajectory.n_steps <= 4
+            assert tiny.map.cloud_points <= 300
+
+
+class TestOverrides:
+    def test_nested_override(self):
+        spec = apply_overrides(
+            get_scenario("room-baseline"),
+            {"trajectory.n_steps": "8", "noise.depth_noise_std": "0.02"},
+        )
+        assert spec.trajectory.n_steps == 8
+        assert spec.noise.depth_noise_std == 0.02
+        # untouched sections survive the frozen rebuild
+        assert spec.map == get_scenario("room-baseline").map
+
+    def test_unknown_field_suggests(self):
+        with pytest.raises(ValueError, match="did you mean 'n_steps'"):
+            apply_overrides(
+                get_scenario("room-baseline"), {"trajectory.n_stepz": "8"}
+            )
+
+    def test_section_is_not_a_value(self):
+        with pytest.raises(ValueError, match="section, not a value"):
+            apply_overrides(get_scenario("room-baseline"), {"trajectory": "8"})
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expects int"):
+            apply_overrides(
+                get_scenario("room-baseline"), {"trajectory.n_steps": "hi"}
+            )
+
+    def test_result_is_revalidated(self):
+        with pytest.raises(ValueError, match="'trajectory.n_steps' must be"):
+            apply_overrides(
+                get_scenario("room-baseline"), {"trajectory.n_steps": "0"}
+            )
+
+
+class TestLibrary:
+    def test_at_least_twenty_scenarios(self):
+        assert len(scenario_names()) >= 20
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(KeyError, match="did you mean 'room-baseline'"):
+            get_scenario("room-basline")
+
+    def test_tag_filter(self):
+        tagged = list_scenarios(tag="serving")
+        assert tagged and all("serving" in s.tags for s in tagged)
+
+    def test_every_stock_scenario_round_trips_and_compiles(self):
+        # The library-wide property: each spec validates, survives a
+        # bit-exact JSON round-trip, and compiles onto the Plan runtime.
+        for name in scenario_names():
+            spec = get_scenario(name)
+            spec.validate()
+            text = spec.to_json()
+            assert ScenarioSpec.from_json(text).to_json() == text
+            plan = compile_scenarios([name], substrates=["digital"], seeds=[0])
+            assert len(plan) == 1
+            assert plan[0].experiment_id == "SCN"
+            assert json.loads(plan[0].overrides["spec"]) == spec.to_jsonable()
+
+    @pytest.mark.parametrize("name", sorted(set(scenario_names())))
+    def test_every_stock_scenario_runs_tiny(self, name):
+        metrics = run_scenario(get_scenario(name).tiny(), "digital", seed=0)
+        assert metrics["scenario"] == name
+        assert metrics["n_steps"] >= 1
+        assert np.isfinite(metrics["final_error_m"])
+        assert metrics["energy_j"] > 0
+
+
+class TestSweep:
+    def test_compile_grid_shape(self):
+        plan = compile_scenarios(
+            ["room-baseline", "clean-oracle"],
+            substrates=["digital", "cim"],
+            seeds=[0, 1],
+        )
+        assert len(plan) == 8
+        assert [job.index for job in plan] == list(range(8))
+        assert len({job.job_id for job in plan}) == 8
+
+    def test_serial_equals_parallel(self):
+        plan = compile_scenarios(
+            ["room-baseline", "adc-low-precision"],
+            substrates=["digital", "cim"],
+            seeds=[0, 1],
+            tiny=True,
+        )
+        serial = ParallelExecutor(workers=1).execute(plan)
+        parallel = ParallelExecutor(workers=2).execute(plan)
+        assert serial.n_failed == 0 and parallel.n_failed == 0
+        for a, b in zip(serial.results, parallel.results):
+            assert a.metrics == b.metrics
+
+    def test_summarize_rows_groups(self):
+        rows = [
+            run_scenario(get_scenario("room-baseline").tiny(), "digital", seed=s)
+            for s in (0, 1)
+        ]
+        summary = summarize_rows(rows)
+        assert len(summary) == 1
+        assert summary[0]["runs"] == 2
+        assert summary[0]["scenario"] == "room-baseline"
+
+
+class TestTraffic:
+    def test_mix_validates(self):
+        with pytest.raises(ValueError):
+            ScenarioMix(entries=())
+        with pytest.raises(ValueError):
+            ScenarioMix(entries=(("a", 0.5), ("a", 0.5)))
+        with pytest.raises(ValueError):
+            ScenarioMix(entries=(("a", 0.0),))
+
+    def test_counts_sum_and_proportion(self):
+        mix = ScenarioMix(entries=(("a", 0.5), ("b", 0.3), ("c", 0.2)))
+        counts = mix.counts(10)
+        assert sum(counts.values()) == 10
+        assert counts == {"a": 5, "b": 3, "c": 2}
+
+    def test_assign_is_deterministic(self):
+        mix = ScenarioMix(entries=(("a", 2.0), ("b", 1.0)))
+        assignment = mix.assign(9, seed=3)
+        assert len(assignment) == 9
+        assert assignment.count("a") == 6 and assignment.count("b") == 3
+        assert assignment == mix.assign(9, seed=3)
+        assert assignment != mix.assign(9, seed=4)
+
+    def test_serving_profile_is_tiny(self):
+        spec = serving_profile(get_scenario("room-baseline"), n_steps=2)
+        assert spec.trajectory.n_steps == 2
+        assert spec.n_particles <= 48
+
+    def test_streamed_track_matches_one_shot_scenario_session(self):
+        # The scenario_mix bench contract: a TrackWorld built from a
+        # scenario replays the exact session the scenario builder makes,
+        # so streamed steps equal the one-shot oracle bit-for-bit.
+        spec = serving_profile(get_scenario("sensor-dropout-burst"), n_steps=3)
+        world, init, measurements = scenario_track_setup(spec)
+        reference = reference_track_run(world, "digital", init, 0, measurements)
+
+        source = scenario_world(spec)
+        session = build_session(spec, "digital", world=source)
+        rng = np.random.default_rng(0)  # the track seed drives init + run
+        init.apply(session, rng)
+        result = session.run(measurements, rng=rng)
+        assert np.array_equal(reference.mean, result.mean)
+        assert reference.energy_j == result.energy_j
+        assert reference.ops_executed == result.ops_executed
+
+
+class TestScenariosCli:
+    def test_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "room-baseline" in out and "24 scenario(s)" in out
+
+    def test_list_json_tagged(self, capsys):
+        assert main(["scenarios", "list", "--tag", "serving", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [s["name"] for s in payload["scenarios"]]
+        assert "sensor-dropout-burst" in names
+
+    def test_run_report_round_trip(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert (
+            main(
+                ["scenarios", "run", "room-baseline", *TINY, "--store", store]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 run(s), 1 ok, 0 failed" in out
+        assert main(["scenarios", "report", store]) == 0
+        out = capsys.readouterr().out
+        assert "room-baseline" in out and "ok=1" in out
+
+    def test_run_json(self, capsys):
+        assert main(["scenarios", "run", "clean-oracle", *TINY, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["status"] == "ok"
+        assert records[0]["result"]["metrics"]["scenario"] == "clean-oracle"
+
+    def test_run_with_override(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios", "run", "room-baseline", *TINY,
+                    "--set", "trajectory.n_steps=2", "--json",
+                ]
+            )
+            == 0
+        )
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["result"]["metrics"]["n_steps"] == 2
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenarios", "run", "room-basline", *TINY]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'room-baseline'" in err
+
+    def test_bad_override_exits_2(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios", "run", "room-baseline", *TINY,
+                    "--set", "trajectory.n_stepz=2",
+                ]
+            )
+            == 2
+        )
+        assert "did you mean 'n_steps'" in capsys.readouterr().err
+
+
+def test_trajectory_spec_profiles_are_closed():
+    # Guard against silently accepting an unknown profile.
+    spec = ScenarioSpec(
+        name="t",
+        description="d",
+        trajectory=TrajectorySpec(profile="zigzag"),
+    )
+    with pytest.raises(ValueError, match="trajectory.profile"):
+        spec.validate()
