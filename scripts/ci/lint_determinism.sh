@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Determinism lint gate: `repro lint` (AST rules DET001-DET008) over
+# src/repro, gated against the committed lint_baseline.json ratchet.
+# Fails on any NEW finding and on STALE baseline entries (a fixed
+# finding must be removed from the baseline via --update-baseline so
+# the ratchet only ever tightens).
+# Runs locally exactly as in CI:  scripts/ci/lint_determinism.sh
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+PYTHONPATH=src python -m repro lint --baseline lint_baseline.json
+echo "lint-determinism: ok"

@@ -1,0 +1,54 @@
+"""Static analysis for the repo's determinism contracts (``repro lint``).
+
+Every layer since PR 2 stakes correctness on bit-for-bit contracts --
+serial == parallel sweeps, fast == loop engine paths, streamed ==
+one-shot tracks, crash-recovery parity.  The bug class that breaks them
+keeps recurring at the *seed and side-effect* level (additive seed
+offsets, wall-clock in result paths, leaked ledger scopes), which ruff
+and mypy cannot see.  This package is the project-specific AST linter
+that can:
+
+- :mod:`repro.analysis.rules` -- the DET001-DET008 rule set with codes,
+  rationales and fix hints.
+- :mod:`repro.analysis.engine` -- file walking, rule dispatch and inline
+  ``# repro: ignore[CODE] reason`` suppressions (reason mandatory).
+- :mod:`repro.analysis.baseline` -- the committed ``lint_baseline.json``
+  that grandfathers pre-existing findings so the CI gate is "no new
+  violations, no stale grandfathers".
+
+Entry points: ``repro lint`` (CLI), :func:`lint_paths` (library).
+"""
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    Baseline,
+    BaselineEntry,
+    compare,
+)
+from repro.analysis.engine import (
+    PARSE_ERROR,
+    SUPPRESSION_NEEDS_REASON,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+)
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import RULES, ModuleSource, Rule, all_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE",
+    "Finding",
+    "ModuleSource",
+    "PARSE_ERROR",
+    "RULES",
+    "Rule",
+    "SUPPRESSION_NEEDS_REASON",
+    "all_rules",
+    "compare",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "sort_findings",
+]

@@ -1,0 +1,138 @@
+"""Committed lint baseline: grandfather existing findings, gate new ones.
+
+The gate is "no new violations": findings recorded in the baseline file
+(``lint_baseline.json`` at the repo root) are tolerated, anything else
+fails.  Entries match on ``(rule, path, source-line text)`` -- not line
+numbers -- so editing a file above a grandfathered violation does not
+break the build.  The comparison is multiset-aware: two identical lines
+need two baseline entries.
+
+A baseline entry that no longer fires is *stale* and also fails the
+gate: once a violation is fixed, ``repro lint --update-baseline`` must
+shrink the file, so the baseline only ever ratchets down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding (line kept for humans, not matching)."""
+
+    rule: str
+    path: str
+    line: int
+    text: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.text)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line} {self.rule} {self.text}"
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "BaselineEntry":
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload.get("line", 0)),
+            text=str(payload.get("text", "")),
+        )
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings plus tracking notes."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(
+                f"baseline file {path} is not a lint baseline "
+                "(expected an object with a 'findings' list)"
+            )
+        return cls(
+            entries=[
+                BaselineEntry.from_jsonable(entry)
+                for entry in payload["findings"]
+            ],
+            notes=[str(note) for note in payload.get("notes", [])],
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], notes: Sequence[str] = ()
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=f.rule, path=f.path, line=f.line, text=f.text
+                )
+                for f in sort_findings(list(findings))
+            ],
+            notes=list(notes),
+        )
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "notes": self.notes,
+            "findings": [entry.to_jsonable() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False, allow_nan=False)
+            + "\n"
+        )
+
+
+def compare(
+    findings: Sequence[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Split findings against the baseline.
+
+    Returns ``(new, stale)``: findings not covered by a baseline entry,
+    and baseline entries no fresh finding matched.  Matching is by
+    ``(rule, path, text)`` key with multiset counting -- if the baseline
+    records one occurrence of a line that now appears twice, the second
+    occurrence is new.
+    """
+    covered = Counter(entry.key() for entry in baseline.entries)
+    fresh = Counter(f.key() for f in findings)
+
+    new: list[Finding] = []
+    seen: Counter = Counter()
+    for finding in sort_findings(list(findings)):
+        seen[finding.key()] += 1
+        if seen[finding.key()] > covered.get(finding.key(), 0):
+            new.append(finding)
+
+    stale: list[BaselineEntry] = []
+    used: Counter = Counter()
+    for entry in baseline.entries:
+        used[entry.key()] += 1
+        if used[entry.key()] > fresh.get(entry.key(), 0):
+            stale.append(entry)
+    return new, stale

@@ -1,0 +1,157 @@
+"""Lint driver: file discovery, suppression comments, rule dispatch.
+
+``lint_paths`` walks ``.py`` files, parses each once and runs every
+registered rule over the tree.  Inline suppressions follow the form::
+
+    risky_call()  # repro: ignore[DET003] metadata-only timestamp
+
+A comment-only suppression line applies to the *next* line instead, so
+long statements stay under the line-length budget::
+
+    # repro: ignore[DET006] Python-only payload, never crosses a wire
+    return json.dumps(self.to_dict(), indent=indent)
+
+The reason is mandatory -- a suppression without one does not suppress
+and instead raises an ``LNT001`` finding, so silencing a determinism
+rule always leaves an auditable justification in the diff.  A file that
+does not parse yields an ``LNT002`` finding instead of crashing the run
+(the gate still fails: a syntax error is never "clean").
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.rules import RULES, ModuleSource, Rule
+
+# Framework diagnostic codes (documented alongside the DET rules).
+SUPPRESSION_NEEDS_REASON = "LNT001"
+PARSE_ERROR = "LNT002"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_\s,]+)\]\s*(.*)$"
+)
+
+
+def parse_suppressions(
+    lines: Sequence[str], path: str
+) -> tuple[dict[int, frozenset[str]], list[Finding]]:
+    """Per-line suppression codes plus findings for malformed ones."""
+    suppressions: dict[int, frozenset[str]] = {}
+    findings: list[Finding] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group(1).split(",") if code.strip()
+        )
+        reason = match.group(2).strip()
+        if not reason:
+            findings.append(
+                Finding(
+                    rule=SUPPRESSION_NEEDS_REASON,
+                    path=path,
+                    line=lineno,
+                    col=max(0, line.find("#")),
+                    message=(
+                        "suppression without a reason (write "
+                        "'# repro: ignore[CODE] why it is safe')"
+                    ),
+                    hint="state why the finding does not apply here",
+                    text=line.strip(),
+                )
+            )
+            continue
+        if codes:
+            # A comment-only line shields the next line; a trailing
+            # comment shields its own.
+            comment_only = line.lstrip().startswith("#")
+            target = lineno + 1 if comment_only else lineno
+            suppressions[target] = suppressions.get(target, frozenset()) | codes
+    return suppressions, findings
+
+
+def lint_source(
+    source: str, path: str, rules: Mapping[str, Rule] | None = None
+) -> list[Finding]:
+    """Lint one module's source text (the unit tests' entry point)."""
+    active = dict(RULES if rules is None else rules)
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                path=path,
+                line=int(error.lineno or 1),
+                col=int(error.offset or 0),
+                message=f"file does not parse: {error.msg}",
+                hint="fix the syntax error",
+                text=(error.text or "").strip(),
+            )
+        ]
+    module = ModuleSource(path=path, tree=tree, lines=lines)
+    raw: list[Finding] = []
+    for code in sorted(active):
+        raw.extend(active[code].check(module))
+    suppressions, suppression_findings = parse_suppressions(lines, path)
+    kept = [
+        finding
+        for finding in raw
+        if finding.rule not in suppressions.get(finding.line, frozenset())
+    ]
+    return sort_findings(kept + suppression_findings)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    """Expand the path arguments to concrete ``.py`` files, sorted."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.is_file():
+            yield path
+        else:
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+
+
+def relative_path(path: Path, root: Path) -> str:
+    """POSIX path relative to ``root`` (baseline keys must not depend on
+    the machine's absolute checkout location)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    root: str | Path | None = None,
+    rules: Mapping[str, Rule] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings in report order.
+
+    Args:
+        paths: files and/or directories.
+        root: base for the relative paths findings carry (default: cwd).
+        rules: rule subset override (default: the full registry).
+    """
+    base = Path.cwd() if root is None else Path(root)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        rel = relative_path(file_path, base)
+        findings.extend(
+            lint_source(file_path.read_text(), rel, rules=rules)
+        )
+    return sort_findings(findings)

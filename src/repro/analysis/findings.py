@@ -1,0 +1,76 @@
+"""Lint findings: the unit of output of the determinism linter.
+
+A :class:`Finding` pins a rule violation to ``path:line:col`` and carries
+the offending source line text.  The *text* (not the line number) is what
+the committed baseline matches on, so a file edit above a grandfathered
+violation does not spuriously turn it into a "new" finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: rule code (``DET001`` ... ``DET008``, ``LNT0xx`` for
+            framework diagnostics such as malformed suppressions).
+        path: file path, POSIX-style, relative to the lint root.
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        message: what is wrong, in one sentence.
+        hint: how to fix it (or how to suppress it with a reason).
+        text: the stripped source line -- the baseline-matching key.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    text: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers drift, source text rarely does."""
+        return (self.rule, self.path, self.text)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """One human-readable report line."""
+        suffix = f"  (fix: {self.hint})" if self.hint else ""
+        return f"{self.location()} {self.rule} {self.message}{suffix}"
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: Mapping[str, Any]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload.get("col", 0)),
+            message=str(payload.get("message", "")),
+            hint=str(payload.get("hint", "")),
+            text=str(payload.get("text", "")),
+        )
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: by location, then rule code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,513 @@
+"""The determinism rule set (DET001-DET008).
+
+Every layer of this repo stakes correctness on bit-for-bit contracts
+(serial == parallel sweeps, fast == loop engine paths, streamed ==
+one-shot tracks, crash-recovery parity).  ruff/mypy cannot see those
+domain invariants; these rules can.  Each rule is a small AST check with
+a code, a one-line rationale (shown by ``repro lint --rules``) and a fix
+hint carried on every finding.
+
+Rules are registered in :data:`RULES` via the :func:`register` decorator;
+:func:`repro.analysis.engine.lint_paths` runs all of them per module.
+
+The checks are deliberately syntactic (call-site line of sight, no data
+flow): they catch the recurring bug classes -- e.g. the PR 7
+``seed + 1000 * scene_index`` stream collision -- without a type checker.
+Anything a rule cannot prove is left alone; anything it flags that is
+genuinely fine takes an inline ``# repro: ignore[CODE] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed module as the rules see it.
+
+    Attributes:
+        path: POSIX path relative to the lint root (the baseline key).
+        tree: parsed AST.
+        lines: raw source lines (1-based access via ``line(n)``).
+    """
+
+    path: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule:
+    """Base class: metadata plus a per-module ``check``."""
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+    hint: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.code,
+            path=module.path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            hint=self.hint,
+            text=module.line(lineno),
+        )
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    rule = cls()
+    if rule.code in RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    return [RULES[code] for code in sorted(RULES)]
+
+
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+_RNG_CTORS = ("default_rng", "SeedSequence", "RandomState")
+
+
+def _call_tail(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _is_rng_ctor_call(name: str | None) -> bool:
+    """A call that turns a seed into a stream (any import spelling)."""
+    if name is None:
+        return False
+    return _call_tail(name) in _RNG_CTORS
+
+
+@register
+class UnseededRandomRule(Rule):
+    code = "DET001"
+    name = "unseeded-rng"
+    rationale = (
+        "bare default_rng() / legacy np.random.* samplers draw from OS "
+        "entropy or hidden global state, so two identical runs diverge"
+    )
+    hint = "pass an explicit seed or thread a Generator from the caller"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if _call_tail(name) == "default_rng" and (
+                name == "default_rng" or name.startswith(_NP_RANDOM_PREFIXES)
+            ):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module, node, "bare default_rng() is entropy-seeded"
+                    )
+            elif name.startswith(_NP_RANDOM_PREFIXES):
+                tail = _call_tail(name)
+                # Lowercase attributes of np.random are the legacy
+                # global-state samplers (normal, rand, seed, shuffle...);
+                # capitalised ones are explicit classes and stay legal.
+                if tail[:1].islower() and tail not in _RNG_CTORS:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"np.random.{tail}() uses the hidden global stream",
+                    )
+
+
+def _has_variable_leaf(node: ast.AST) -> bool:
+    for leaf in ast.walk(node):
+        if isinstance(leaf, (ast.Name, ast.Attribute)):
+            return True
+    return False
+
+
+@register
+class SeedArithmeticRule(Rule):
+    code = "DET002"
+    name = "seed-arithmetic"
+    rationale = (
+        "additive/multiplicative seed offsets (seed + k, k * index) "
+        "collide across base seeds -- the PR 7 scene/dataset.py bug class"
+    )
+    hint = (
+        "derive streams with np.random.SeedSequence(seed, "
+        "spawn_key=(...)) instead of arithmetic on the seed"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_rng_ctor_call(dotted_name(node.func)):
+                continue
+            for arg in node.args:
+                binop = self._arithmetic_over_variables(arg)
+                if binop is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"seed arithmetic feeds "
+                        f"{_call_tail(dotted_name(node.func) or '')}()",
+                    )
+                    break
+
+    @staticmethod
+    def _arithmetic_over_variables(arg: ast.AST) -> ast.BinOp | None:
+        """The first +/-/* BinOp in ``arg`` that involves a variable.
+
+        Constant-only arithmetic (``default_rng(1 << 20)``) is fine; an
+        offset of *anything runtime-valued* is the collision class.
+        """
+        for node in ast.walk(arg):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mult)
+            ):
+                if _has_variable_leaf(node):
+                    return node
+        return None
+
+
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    code = "DET003"
+    name = "wallclock-or-global-random"
+    rationale = (
+        "time.time()/datetime.now()/random.* flowing into result-bearing "
+        "code makes reruns unreproducible; timestamps belong in metadata"
+    )
+    hint = (
+        "use a seeded Generator / perf_counter for durations; if this is "
+        "a metadata-only path, suppress with a reason"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module, node, f"wall-clock call {name}()"
+                )
+            elif name.startswith("random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib {name}() uses the hidden global stream",
+                )
+
+
+def _calls_method(tree_nodes: list[ast.stmt], method: str) -> bool:
+    for stmt in tree_nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+            ):
+                return True
+    return False
+
+
+@register
+class UnbalancedScopeRule(Rule):
+    code = "DET004"
+    name = "unbalanced-ledger-scope"
+    rationale = (
+        "EnergyLedger.begin_scope() without end_scope() on every path "
+        "leaks a child that silently double-counts all later work"
+    )
+    hint = (
+        "open the scope inside (or immediately before) a try whose "
+        "finally calls end_scope()"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._check_scope(module, module.tree.body)
+
+    def _check_scope(
+        self, module: ModuleSource, body: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        """One function (or module) scope: begin_scope calls are OK only
+        if the same scope has a try whose finally reaches end_scope."""
+        begins: list[ast.Call] = []
+        protected = False
+        nested: list[list[ast.stmt]] = []
+
+        def collect(node: ast.AST) -> None:
+            nonlocal protected
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def is its own scope, audited separately.
+                nested.append(node.body)
+                return
+            if isinstance(node, ast.Lambda):
+                return
+            if isinstance(node, ast.Try) and _calls_method(
+                node.finalbody, "end_scope"
+            ):
+                protected = True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "begin_scope"
+            ):
+                begins.append(node)
+            for child in ast.iter_child_nodes(node):
+                collect(child)
+
+        for stmt in body:
+            collect(stmt)
+        if begins and not protected:
+            for call in begins:
+                yield self.finding(
+                    module,
+                    call,
+                    "begin_scope() without a try/finally end_scope() in "
+                    "this function",
+                )
+        for sub in nested:
+            yield from self._check_scope(module, sub)
+
+
+_DUMPS_CALLS = {"json.dumps", "json.dump"}
+
+
+def _is_wire_dump_call(name: str | None) -> bool:
+    return name is not None and (
+        name in _DUMPS_CALLS or _call_tail(name) == "strict_dumps"
+    )
+
+
+@register
+class UnorderedWirePayloadRule(Rule):
+    code = "DET005"
+    name = "unordered-wire-iteration"
+    rationale = (
+        "set iteration order is hash-randomised across processes, so a "
+        "set feeding json.dumps()/wire payloads breaks byte-identity"
+    )
+    hint = "wrap the set in sorted(...) before it reaches the payload"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_wire_dump_call(dotted_name(node.func)):
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                yield from self._unordered_nodes(module, arg)
+
+    def _unordered_nodes(
+        self, module: ModuleSource, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name == "sorted":
+                return  # sorted(...) normalises whatever is inside
+            if name in ("set", "frozenset"):
+                yield self.finding(
+                    module, node, "set() result feeds a wire payload"
+                )
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            yield self.finding(
+                module, node, "set literal/comprehension feeds a wire payload"
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._unordered_nodes(module, child)
+
+
+@register
+class NonStrictJSONRule(Rule):
+    code = "DET006"
+    name = "non-strict-json"
+    rationale = (
+        "json.dumps() without allow_nan=False emits bare NaN/Infinity "
+        "tokens that are not JSON and corrupt wire payloads"
+    )
+    hint = (
+        "use repro.api.results.strict_dumps (tagged non-finite "
+        "sentinels) or pass allow_nan=False"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in _DUMPS_CALLS:
+                continue
+            if not self._strict(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "json.dumps()/dump() without allow_nan=False",
+                )
+
+    @staticmethod
+    def _strict(node: ast.Call) -> bool:
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "allow_nan"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return True
+        return False
+
+
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "socket.create_connection",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "urllib.request.urlopen",
+}
+_BLOCKING_PREFIXES = ("requests.", "http.client.")
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    code = "DET007"
+    name = "blocking-call-in-async"
+    rationale = (
+        "time.sleep()/sync HTTP inside async def stalls the event loop, "
+        "so every in-flight request (and batch deadline) hangs with it"
+    )
+    hint = (
+        "await asyncio.sleep(...) or run the blocking call in an "
+        "executor (loop.run_in_executor)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: list[bool] = []  # nearest def is async?
+                self.found: list[Finding] = []
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self.stack.append(False)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def visit_AsyncFunctionDef(
+                self, node: ast.AsyncFunctionDef
+            ) -> None:
+                self.stack.append(True)
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def visit_Call(self, node: ast.Call) -> None:
+                if self.stack and self.stack[-1]:
+                    name = dotted_name(node.func)
+                    if name is not None and (
+                        name in _BLOCKING_CALLS
+                        or name.startswith(_BLOCKING_PREFIXES)
+                    ):
+                        self.found.append(
+                            rule.finding(
+                                module,
+                                node,
+                                f"blocking {name}() inside async def",
+                            )
+                        )
+                self.generic_visit(node)
+
+        visitor = Visitor()
+        visitor.visit(module.tree)
+        yield from visitor.found
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "DET008"
+    name = "mutable-default-argument"
+    rationale = (
+        "a mutable default ([] / {} / set()) is shared across calls, so "
+        "one caller's mutation leaks into every later call"
+    )
+    hint = "default to None and create the container inside the function"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue  # private helpers may pin defaults deliberately
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in public "
+                        f"{'async ' if isinstance(node, ast.AsyncFunctionDef) else ''}"
+                        f"def {node.name}()",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in ("list", "dict", "set")
+        return False

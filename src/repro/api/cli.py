@@ -15,6 +15,9 @@ Subcommands::
                           [--set path.to.field=value ...] [--tiny]
                           [--workers N] [--store DIR] [--json]
     python -m repro scenarios report STORE [--json]
+    python -m repro lint [PATHS ...] [--json] [--rules]
+                         [--baseline PATH] [--no-baseline]
+                         [--update-baseline]
     python -m repro bench [--suite core|serve|all] [--ids E1 E5 ...]
                           [--repeats N] [--out PATH]
                           [--check] [--tolerance FRAC]
@@ -31,7 +34,12 @@ it through the batch runtime -- ``--workers N`` fans the jobs out over a
 process pool (results identical to serial), ``--store DIR`` streams a
 structured run directory (``manifest.json`` + ``results.jsonl``), and a
 failing cell records an error row instead of aborting the grid.
-``report`` summarises a stored run; ``scenarios`` lists, sweeps and
+``lint`` runs the project's AST determinism linter
+(:mod:`repro.analysis`, rules DET001-DET008) over ``src/repro`` and
+compares against the committed ``lint_baseline.json`` -- exit 1 on any
+non-baselined finding *or* stale baseline entry, so the violation count
+only ever ratchets down; ``report`` summarises a stored run;
+``scenarios`` lists, sweeps and
 summarises the named scenario library (:mod:`repro.scenarios`) on the
 same batch runtime, with dotted ``--set`` spec overrides and friendly
 exit-2 errors for unknown names/paths; ``bench`` times the quick experiment
@@ -407,6 +415,85 @@ def _cmd_scenarios_report(args: argparse.Namespace) -> int:
         print("  no successful scenario (SCN) runs in this store")
         return 0
     print("\n".join(_scenario_summary_table(rows)))
+    return 0
+
+
+_LINT_DEFAULT_PATHS = ("src/repro",)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import Baseline, all_rules, compare, lint_paths
+
+    if args.rules:
+        if args.json:
+            payload = [
+                {
+                    "code": rule.code,
+                    "name": rule.name,
+                    "rationale": rule.rationale,
+                    "hint": rule.hint,
+                }
+                for rule in all_rules()
+            ]
+            print(json.dumps(payload, indent=2, allow_nan=False))
+            return 0
+        for rule in all_rules():
+            print(f"  {rule.code}  {rule.name}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    paths = args.paths or list(_LINT_DEFAULT_PATHS)
+    findings = lint_paths(paths)
+    baseline_path = Path(args.baseline)
+
+    if args.update_baseline:
+        notes: list[str] = []
+        if baseline_path.exists():
+            notes = Baseline.load(baseline_path).notes
+        Baseline.from_findings(findings, notes=notes).save(baseline_path)
+        print(
+            f"baseline updated: {baseline_path} "
+            f"({len(findings)} grandfathered finding(s))"
+        )
+        return 0
+
+    new, stale = findings, []
+    baselined = 0
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+        new, stale = compare(findings, baseline)
+        baselined = len(findings) - len(new)
+
+    if args.json:
+        payload = {
+            "paths": [str(path) for path in paths],
+            "baseline": None if args.no_baseline else str(baseline_path),
+            "n_findings": len(findings),
+            "n_baselined": baselined,
+            "new": [finding.to_jsonable() for finding in new],
+            "stale": [entry.to_jsonable() for entry in stale],
+        }
+        print(json.dumps(payload, indent=2, allow_nan=False))
+        return 1 if new or stale else 0
+
+    for finding in new:
+        print(finding.render())
+    for entry in stale:
+        print(f"stale baseline entry (no longer fires): {entry.render()}")
+    summary = (
+        f"lint: {len(findings)} finding(s), {baselined} baselined, "
+        f"{len(new)} new, {len(stale)} stale"
+    )
+    if new or stale:
+        print(summary)
+        print(
+            "error: determinism lint gate failed -- fix the new "
+            "finding(s), suppress with '# repro: ignore[CODE] reason', "
+            "or (stale entries) run `repro lint --update-baseline`",
+            file=sys.stderr,
+        )
+        return 1
+    print(summary + " -- ok")
     return 0
 
 
@@ -1478,6 +1565,43 @@ def build_parser() -> argparse.ArgumentParser:
     scn_report.add_argument("store", help="run store directory")
     scn_report.add_argument("--json", action="store_true")
     scn_report.set_defaults(handler=_cmd_scenarios_report)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="AST determinism linter (rules DET001-DET008): exit 1 on "
+        "any finding not grandfathered by lint_baseline.json, or on "
+        "stale baseline entries",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help=f"files/directories to lint (default: {' '.join(_LINT_DEFAULT_PATHS)})",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default="lint_baseline.json",
+        metavar="PATH",
+        help="committed baseline of grandfathered findings",
+    )
+    lint_parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    lint_parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings (the gate "
+        "ratchet: run it after fixing violations so stale entries drop)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule table (codes, rationales) and exit",
+    )
+    lint_parser.add_argument("--json", action="store_true")
+    lint_parser.set_defaults(handler=_cmd_lint)
 
     bench_parser = sub.add_parser(
         "bench",

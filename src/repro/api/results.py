@@ -48,6 +48,7 @@ def config_hash(overrides: Mapping[str, Any] | None) -> str:
     """
     if not overrides:
         return ""
+    # repro: ignore[DET006] hash input only; never parsed or sent anywhere
     canonical = json.dumps(to_jsonable(dict(overrides)), sort_keys=True)
     return hashlib.sha1(canonical.encode("utf-8")).hexdigest()[:8]
 
@@ -205,6 +206,7 @@ class InferenceResult:
         return to_jsonable(dataclasses.asdict(self))
 
     def to_json(self, indent: int | None = None) -> str:
+        # repro: ignore[DET006] Python-only round-trip; NaN tokens parse back
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
@@ -289,6 +291,7 @@ class BatchResult:
         }
 
     def to_json(self, indent: int | None = None) -> str:
+        # repro: ignore[DET006] Python-only round-trip; NaN tokens parse back
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
@@ -340,6 +343,7 @@ class ExperimentResult:
         return to_jsonable(dataclasses.asdict(self))
 
     def to_json(self, indent: int | None = None) -> str:
+        # repro: ignore[DET006] Python-only round-trip; NaN tokens parse back
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod

@@ -351,9 +351,14 @@ class CIMMCDropoutEngine:
         ordered = [None if s is None else s.reordered(order) for s in streams]
 
         # Scoped child ledgers collect exactly this call's macro work;
-        # the macros' cumulative ledgers keep running undisturbed.
-        scopes = [layer.macro.ledger.begin_scope() for layer in self.layers]
+        # the macros' cumulative ledgers keep running undisturbed.  The
+        # scopes open inside the try so a raise mid-open (or anywhere in
+        # the forward) still detaches every scope that did open, leaving
+        # the engine reusable after the exception (DET004 contract).
+        scopes = []
         try:
+            for layer in self.layers:
+                scopes.append(layer.macro.ledger.begin_scope())
             batch = x.shape[0]
             noise_bank = self._draw_noise_bank(rng, batch)
             refresh_steps = self._refresh_steps()

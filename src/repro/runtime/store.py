@@ -79,6 +79,7 @@ class RunStore:
         path.mkdir(parents=True, exist_ok=True)
         manifest: dict[str, Any] = {
             "version": __version__,
+            # repro: ignore[DET003] manifest metadata, not a result field
             "created_at": datetime.now(timezone.utc).isoformat(),
             "status": "running",
             "command": command,
@@ -141,6 +142,7 @@ class RunStore:
     def append(self, record: JobRecord) -> None:
         """Append one finished job to ``results.jsonl`` (flushed)."""
         with (self.path / RESULTS_NAME).open("a") as handle:
+            # repro: ignore[DET006] store is Python-read; json.loads round-trips
             handle.write(json.dumps(record.to_jsonable()) + "\n")
         self._records.append(record)
 
@@ -150,6 +152,7 @@ class RunStore:
         self.manifest.update(
             {
                 "status": "complete" if report.n_failed == 0 else "partial",
+                # repro: ignore[DET003] manifest metadata, not a result field
                 "finished_at": datetime.now(timezone.utc).isoformat(),
                 **summary,
             }
@@ -158,6 +161,7 @@ class RunStore:
 
     def _write_manifest(self) -> None:
         (self.path / MANIFEST_NAME).write_text(
+            # repro: ignore[DET006] store is Python-read; json.loads round-trips
             json.dumps(self.manifest, indent=2) + "\n"
         )
 

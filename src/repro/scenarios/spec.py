@@ -390,6 +390,7 @@ class ScenarioSpec:
 
     def to_json(self) -> str:
         """Canonical JSON: sorted keys, compact separators."""
+        # repro: ignore[DET006] validate() pins every float finite first
         return json.dumps(
             self.to_jsonable(), sort_keys=True, separators=(",", ":")
         )

@@ -24,6 +24,21 @@ DEMO_HIDDEN = 16
 DEMO_OUTPUTS = 4
 DEMO_DROPOUT = 0.5
 
+# Spawn-key purposes of the demo streams.  Keyed SeedSequence derivation
+# is collision-free across base seeds; the old additive offsets
+# (``seed + 1``, ``seed + 100``) made e.g. demo_model(99)'s input batch
+# share a stream with demo_model(0)'s -- the DET002 bug class.  The
+# streams changed (once) at the migration and are pinned by regression
+# tests in tests/test_serve.py.
+_STREAM_DROPOUT = 0
+_STREAM_INPUTS = 1
+
+
+def _demo_rng(seed: int, *spawn_key: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=spawn_key)
+    )
+
 
 def demo_model(seed: int = 0) -> Sequential:
     """The quickstart network: Dense -> ReLU -> Dropout -> Dense."""
@@ -32,7 +47,7 @@ def demo_model(seed: int = 0) -> Sequential:
         [
             Dense(DEMO_INPUTS, DEMO_HIDDEN, rng),
             ReLU(),
-            Dropout(DEMO_DROPOUT, rng=np.random.default_rng(seed + 1)),
+            Dropout(DEMO_DROPOUT, rng=_demo_rng(seed, _STREAM_DROPOUT)),
             Dense(DEMO_HIDDEN, DEMO_OUTPUTS, rng),
         ]
     )
@@ -40,7 +55,7 @@ def demo_model(seed: int = 0) -> Sequential:
 
 def demo_inputs(seed: int = 0, batch: int = 4) -> np.ndarray:
     """A deterministic (batch, DEMO_INPUTS) feature batch."""
-    return np.random.default_rng(seed + 100).normal(size=(batch, DEMO_INPUTS))
+    return _demo_rng(seed, _STREAM_INPUTS).normal(size=(batch, DEMO_INPUTS))
 
 
 DEMO_TRACK_SCENE_SEED = 42

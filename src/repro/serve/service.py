@@ -477,6 +477,7 @@ class InferenceService:
                 )
             await self._track_manager.start()
         self._started = True
+        # repro: ignore[DET003] uptime metadata, not a result field
         self._started_at = time.time()
 
     async def stop(self) -> None:
@@ -756,6 +757,7 @@ class InferenceService:
             "uptime_s": (
                 None
                 if self._started_at is None
+                # repro: ignore[DET003] uptime metadata, not a result field
                 else time.time() - self._started_at
             ),
             "tracks": (

@@ -293,6 +293,10 @@ class TrackStore:
         step_mark = _merged_view(track.ledgers).snapshot()
         pf.particles = track.particles
         pf.history = []
+        # DET004 audit: the ledger-cell swap must restore the prototype
+        # ledgers on every exit path -- a raising step would otherwise
+        # leave this track's ledgers wired into the shared prototype,
+        # corrupting every other track's energy accounting on the shard.
         saved = [getattr(owner, attr) for owner, attr in cells]
         for (owner, attr), ledger in zip(cells, track.ledgers):
             setattr(owner, attr, ledger)

@@ -1,0 +1,8 @@
+"""DET001 clean: explicit seeds and explicit Generator construction."""
+import numpy as np
+
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    gen = np.random.Generator(np.random.PCG64(seed))
+    return rng.normal(size=3), gen.normal(size=3)

@@ -1,0 +1,9 @@
+"""DET001 fixture: entropy-seeded / hidden-global-state RNG calls."""
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()
+    noise = np.random.normal(size=3)
+    np.random.seed(0)
+    return rng, noise

@@ -1,0 +1,12 @@
+"""DET002 clean: keyed SeedSequence spawns; constant-only arithmetic."""
+import numpy as np
+
+
+def scene_rng(seed, scene_index):
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(scene_index,))
+    )
+
+
+def pinned_rng():
+    return np.random.default_rng(3 + 4)

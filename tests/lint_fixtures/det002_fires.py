@@ -1,0 +1,11 @@
+"""DET002 fixture: additive/multiplicative seed arithmetic (the PR 7
+scene/dataset.py stream-collision bug class)."""
+import numpy as np
+
+
+def scene_rng(seed, scene_index):
+    return np.random.default_rng(seed + 1000 * scene_index)
+
+
+def worker_rng(seed, worker):
+    return np.random.SeedSequence(seed * 7919 + worker)

@@ -1,0 +1,8 @@
+"""DET003 clean: monotonic durations, threaded Generator draws."""
+import time
+
+
+def duration(rng):
+    start = time.perf_counter()
+    draw = rng.random()
+    return time.perf_counter() - start, draw

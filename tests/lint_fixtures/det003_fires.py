@@ -1,0 +1,11 @@
+"""DET003 fixture: wall-clock and stdlib-global randomness."""
+import random
+import time
+from datetime import datetime
+
+
+def jitter():
+    stamp = time.time()
+    noise = random.random()
+    now = datetime.now()
+    return stamp, noise, now

@@ -1,0 +1,9 @@
+"""DET004 clean: every begin_scope is closed by a finally."""
+
+
+def measure(ledger, work):
+    scope = ledger.begin_scope()
+    try:
+        return work()
+    finally:
+        ledger.end_scope(scope)

@@ -1,0 +1,9 @@
+"""DET004 fixture: begin_scope without a try/finally end_scope -- the
+end_scope on the happy path does not help; a raise in work() leaks."""
+
+
+def measure(ledger, work):
+    scope = ledger.begin_scope()
+    result = work()
+    ledger.end_scope(scope)
+    return result

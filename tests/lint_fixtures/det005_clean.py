@@ -1,0 +1,6 @@
+"""DET005 clean: sorted() normalises the set before the payload."""
+import json
+
+
+def payload(names):
+    return json.dumps({"names": sorted(set(names))}, allow_nan=False)

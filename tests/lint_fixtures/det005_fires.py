@@ -1,0 +1,10 @@
+"""DET005 fixture: unordered sets feeding a wire payload."""
+import json
+
+
+def payload(names):
+    return json.dumps({"names": list({name for name in names})})
+
+
+def keyword_payload(names):
+    return json.dumps({}, default=set(names).union)

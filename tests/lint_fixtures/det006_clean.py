@@ -1,0 +1,7 @@
+"""DET006 clean: strict NaN-safe encoding."""
+import json
+
+
+def encode(payload, handle):
+    json.dump(payload, handle, allow_nan=False)
+    return json.dumps(payload, indent=2, allow_nan=False)

@@ -1,0 +1,7 @@
+"""DET006 fixture: json.dumps without allow_nan=False."""
+import json
+
+
+def encode(payload, handle):
+    json.dump(payload, handle)
+    return json.dumps(payload, indent=2)

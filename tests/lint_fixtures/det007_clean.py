@@ -1,0 +1,15 @@
+"""DET007 clean: async sleeps; blocking calls only in sync scopes."""
+import asyncio
+import time
+
+
+async def handler():
+    def helper():
+        time.sleep(0.1)
+
+    await asyncio.sleep(0.1)
+    return helper
+
+
+def sync_path():
+    time.sleep(0.1)

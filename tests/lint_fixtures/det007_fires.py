@@ -1,0 +1,8 @@
+"""DET007 fixture: blocking calls inside async def."""
+import time
+import urllib.request
+
+
+async def handler(url):
+    time.sleep(0.1)
+    return urllib.request.urlopen(url)

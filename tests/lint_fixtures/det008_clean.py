@@ -1,0 +1,9 @@
+"""DET008 clean: None/tuple defaults; private helpers exempt."""
+
+
+def configure(options=None, tags=()):
+    return {} if options is None else options, tags
+
+
+def _private_cache(cache={}):
+    return cache

@@ -1,0 +1,9 @@
+"""DET008 fixture: mutable defaults on public functions."""
+
+
+def configure(options={}, tags=[]):
+    return options, tags
+
+
+async def stream(buffer=set()):
+    return buffer

@@ -1,0 +1,8 @@
+"""Suppression fixture: trailing, standalone, reasonless, and absent."""
+import json
+
+# repro: ignore[DET006] fixture: standalone comment shields next line
+standalone = json.dumps({"x": 1})
+inline = json.dumps({"y": 2})  # repro: ignore[DET006] fixture: trailing
+reasonless = json.dumps({"z": 3})  # repro: ignore[DET006]
+unsuppressed = json.dumps({"w": 4})

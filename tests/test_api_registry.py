@@ -295,3 +295,48 @@ class TestNonFiniteRoundTrips:
         back = InferenceResult.from_dict(strict_loads(text))
         assert np.array_equal(back.mean, self.make_result().mean, equal_nan=True)
         assert np.isnan(back.extras["final_error"])
+
+
+class TestKeyedRngStreams:
+    """E3/E6 derive their RNG streams via keyed SeedSequence spawns.
+
+    Pinned first draws: experiment outputs are reproduced from (id,
+    seed) alone, so the stream derivation is part of the public
+    contract.  These constants changed exactly once -- at the migration
+    off additive seed offsets (the DET002 bug class) -- and must never
+    change again.
+    """
+
+    def test_streams_pinned(self):
+        from repro.api.experiments import _E3_RUN, _E3_SESSION, _E6_SESSION, _keyed_rng
+
+        assert float(_keyed_rng(0, _E3_SESSION).random()) == 0.26594389956428566
+        assert float(_keyed_rng(0, _E3_RUN).random()) == 0.11721174817852253
+        assert float(_keyed_rng(0, _E6_SESSION).random()) == 0.2007793516394134
+
+    def test_no_collision_across_base_seeds(self):
+        # Additive offsets alias streams across base seeds (seed=0 with
+        # offset k equals seed=k with offset 0); keyed spawns must keep
+        # every (seed, spawn_key) stream distinct.
+        from repro.api.experiments import _E3_RUN, _E3_SESSION, _E6_SESSION, _keyed_rng
+
+        keys = (_E3_SESSION, _E3_RUN, _E6_SESSION)
+        draws = {
+            (seed, key): tuple(_keyed_rng(seed, key).random(4))
+            for seed in range(6)
+            for key in keys
+        }
+        assert len(set(draws.values())) == len(draws)
+
+    def test_e3_deterministic_after_migration(self):
+        small = {
+            "n_steps": 3,
+            "n_particles": 40,
+            "n_components": 6,
+            "n_cloud_points": 300,
+            "image": (16, 12),
+            "substrates": ("digital-float",),
+        }
+        first = run_experiment("E3", seed=3, overrides=small)
+        second = run_experiment("E3", seed=3, overrides=small)
+        assert first.metrics == second.metrics

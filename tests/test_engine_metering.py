@@ -241,3 +241,63 @@ class TestLocalizationResultEdgeCases:
                     expected = t
                     break
             assert result.converged_step(threshold=0.5) == expected
+
+
+class TestScopeExceptionSafety:
+    """DET004 contract: a raising forward must detach every scope.
+
+    Leaked scopes would double-charge every subsequent predict on the
+    same engine (the child keeps accumulating inside the cumulative
+    ledger), so the engine must stay metering-exact after an exception.
+    """
+
+    def test_raising_forward_detaches_all_scopes(self, inputs, monkeypatch):
+        engine = make_engine()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("forward exploded")
+
+        monkeypatch.setattr(engine, "_forward_stacked", boom)
+        monkeypatch.setattr(engine, "_forward_loop", boom)
+        with pytest.raises(RuntimeError, match="forward exploded"):
+            engine.predict(inputs, rng=np.random.default_rng(5))
+        for layer in engine.layers:
+            assert layer.macro.ledger._scopes == []
+
+    def test_raising_scope_open_detaches_partial_scopes(self, inputs):
+        # begin_scope failing on layer k must still close the scopes
+        # layers 0..k-1 already opened.
+        engine = make_engine()
+        victim = engine.layers[-1].macro.ledger
+
+        def refuse(label=None):
+            raise RuntimeError("scope open refused")
+
+        victim.begin_scope = refuse
+        try:
+            with pytest.raises(RuntimeError, match="scope open refused"):
+                engine.predict(inputs, rng=np.random.default_rng(5))
+        finally:
+            del victim.begin_scope
+        for layer in engine.layers:
+            assert layer.macro.ledger._scopes == []
+
+    def test_predict_after_exception_matches_fresh_engine(
+        self, inputs, monkeypatch
+    ):
+        engine = make_engine()
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("forward exploded")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(engine, "_forward_stacked", boom)
+            patched.setattr(engine, "_forward_loop", boom)
+            with pytest.raises(RuntimeError):
+                engine.predict(inputs, rng=np.random.default_rng(5))
+
+        survivor = engine.predict(inputs, rng=np.random.default_rng(9))
+        fresh = make_engine().predict(inputs, rng=np.random.default_rng(9))
+        assert np.array_equal(survivor.mean, fresh.mean)
+        assert survivor.energy.total_energy_j() == fresh.energy.total_energy_j()
+        assert survivor.ops_executed == fresh.ops_executed

@@ -705,3 +705,61 @@ def _alive(pid):
         return True
     except (ProcessLookupError, PermissionError):
         return False
+
+
+class TestStepExceptionSafety:
+    """DET004 contract: a raising step must restore the prototype ledger
+    cells (the swap-in/swap-out in TrackStore._step_one), or one bad
+    measurement would wire a dead track's ledgers into every other
+    track's energy accounting on the shard."""
+
+    @staticmethod
+    def _failing_store(world, init, seed, monkeypatch, measurements):
+        from repro.serve.tracks import TrackStore
+
+        store = TrackStore(world, ("cim",))
+        store.open("t1", "cim", init, seed)
+        session, cells, _ = store._prototypes["cim"]
+        before = [getattr(owner, attr) for owner, attr in cells]
+        controls, depths, truths = measurements
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("sensor glitch")
+
+        with monkeypatch.context() as patched:
+            patched.setattr(session.localizer, "step", boom)
+            outcomes = store.step_batch(
+                [("t1", controls[0], depths[0], truths[0])]
+            )
+        return store, cells, before, outcomes
+
+    def test_raising_step_restores_prototype_ledgers(
+        self, world, measurements, init, monkeypatch
+    ):
+        store, cells, before, outcomes = self._failing_store(
+            world, init, 5, monkeypatch, measurements
+        )
+        status, payload = outcomes[0]
+        assert status == "error"
+        assert "sensor glitch" in payload
+        after = [getattr(owner, attr) for owner, attr in cells]
+        assert all(now is prev for now, prev in zip(after, before))
+
+    def test_steps_after_failure_stay_bit_exact(
+        self, world, measurements, init, monkeypatch
+    ):
+        store, _, _, outcomes = self._failing_store(
+            world, init, 7, monkeypatch, measurements
+        )
+        assert outcomes[0][0] == "error"
+        controls, depths, truths = measurements
+        results = [
+            store._step_one("t1", controls[i], depths[i], truths[i])
+            for i in range(N_STEPS)
+        ]
+        reference = reference_track_run(world, "cim", init, 7, measurements)
+        streamed = np.array([r["estimate"] for r in results])
+        assert np.array_equal(streamed, reference.mean)
+        final = results[-1]
+        assert final["energy_j"] == reference.energy_j
+        assert final["ops_executed"] == reference.ops_executed
